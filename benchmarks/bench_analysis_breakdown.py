@@ -1,0 +1,39 @@
+"""Where TreadMarks' time goes, per application.
+
+Reproduces the paper's prose-level analysis: TSP's lock contention
+("each process spends [a share of its] seconds waiting at lock
+acquires"), the barrier-dominated SOR, and the fault-dominated IS-Large.
+"""
+
+from _common import PRESET, emit
+
+from repro.bench import harness
+from repro.bench.analysis import decompose, render_breakdown
+
+
+def test_analysis_time_decomposition(benchmark, capsys):
+    benchmark.pedantic(lambda: harness.run_cached("fig06", "tmk", 8, PRESET),
+                       rounds=1, iterations=1)
+    reports = []
+    shares = {}
+    for exp_id in ("fig06", "fig02", "fig05"):
+        exp = harness.EXPERIMENTS[exp_id]
+        run = harness.run_cached(exp_id, "tmk", 8, PRESET)
+        breakdown = decompose(run)
+        shares[exp_id] = breakdown
+        reports.append(render_breakdown(
+            f"{exp.label} (TreadMarks, 8 processors)", breakdown))
+    emit(capsys, "analysis_breakdown", "\n\n".join(reports))
+
+    # TSP: meaningful lock waiting (the paper singles this out).
+    assert shares["fig06"].mean_share("lock") > 0.05
+    # SOR: barrier-synchronized, negligible lock waiting.
+    assert shares["fig02"].mean_share("lock") < 0.01
+    assert shares["fig02"].mean_share("barrier") > 0.02
+    # IS-Large: communication dominates -- faults, lock-carried fetches,
+    # and barrier time spent waiting for the serialized lock chain.
+    fig05 = shares["fig05"]
+    waiting = (fig05.mean_share("fault") + fig05.mean_share("lock")
+               + fig05.mean_share("barrier"))
+    assert waiting > 0.6
+    assert fig05.mean_share("other") < 0.4

@@ -1,0 +1,11 @@
+"""Figure 01: EP speedup curves (paper reproduction).
+
+Embarrassingly Parallel: both systems reach near-linear speedup; the only
+communication is combining a ten-integer tally.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure01_ep(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig01")

@@ -1,0 +1,13 @@
+"""Figure 02: SOR-Zero speedup curves (paper reproduction).
+
+Red-Black SOR with zero interior: load imbalance (zero-operand FP is
+slower) caps both systems; TreadMarks ships LESS data than PVM because
+diffs of unchanged pages are empty, but ~5x the messages (barrier + per-
+page diff requests).
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure02_sor_zero(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig02")

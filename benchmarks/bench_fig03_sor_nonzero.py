@@ -1,0 +1,11 @@
+"""Figure 03: SOR-NonZero speedup curves (paper reproduction).
+
+Red-Black SOR with nonzero data: balanced load, good speedups, TreadMarks
+close to PVM.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure03_sor_nonzero(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig03")

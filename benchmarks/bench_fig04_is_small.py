@@ -1,0 +1,11 @@
+"""Figure 04: IS-Small speedup curves (paper reproduction).
+
+Integer Sort, one-page bucket array: TreadMarks pays separate
+synchronization and diff-request messages.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure04_is_small(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig04")

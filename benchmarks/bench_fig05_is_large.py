@@ -1,0 +1,12 @@
+"""Figure 05: IS-Large speedup curves (paper reproduction).
+
+Integer Sort, 32-page bucket array: diff accumulation moves ~n(n-1)b per
+iteration vs PVM's 2(n-1)b -- the paper's worst case, PVM about twice as
+fast.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure05_is_large(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig05")

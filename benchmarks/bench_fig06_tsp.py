@@ -1,0 +1,11 @@
+"""Figure 06: TSP speedup curves (paper reproduction).
+
+Branch-and-bound TSP: the tour pool, priority queue and stack migrate
+between processors under the get_tour lock.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure06_tsp(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig06")

@@ -1,0 +1,11 @@
+"""Figure 07: QSORT speedup curves (paper reproduction).
+
+Quicksort over a shared work queue: subarrays larger than a page cost
+multiple diff requests per migration.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure07_qsort(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig07")

@@ -1,0 +1,11 @@
+"""Figure 08: Water-288 speedup curves (paper reproduction).
+
+Water, 288 molecules: false sharing on the ~2-page molecule array plus
+diff accumulation under per-owner locks.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure08_water288(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig08")

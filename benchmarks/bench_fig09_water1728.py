@@ -1,0 +1,11 @@
+"""Figure 09: Water-1728 speedup curves (paper reproduction).
+
+Water, 1728 molecules: higher compute/communication ratio and less false
+sharing bring TreadMarks within ~10% of PVM.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure09_water1728(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig09")

@@ -1,0 +1,12 @@
+"""Figure 10: Barnes-Hut speedup curves (paper reproduction).
+
+N-body: PVM's all-to-all body broadcast saturates the FDDI ring while
+TreadMarks suffers false sharing on tree-ordered, memory-scattered bodies;
+both speed up poorly.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure10_barnes_hut(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig10")

@@ -1,0 +1,12 @@
+"""Figure 11: 3D-FFT speedup curves (paper reproduction).
+
+3-D FFT transposes: TreadMarks moves almost the same data as PVM
+(multiple-writer diffs carry exactly the written words) but in many more
+page-granular messages.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure11_fft3d(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig11")

@@ -1,0 +1,12 @@
+"""Figure 12: ILINK speedup curves (paper reproduction).
+
+Genetic linkage analysis: high compute/communication ratio; TreadMarks
+loses only per-page diff requests, round-robin false sharing, and diff
+accumulation from bank re-initialization.
+"""
+
+from _common import figure_benchmark
+
+
+def test_figure12_ilink(benchmark, capsys):
+    figure_benchmark(benchmark, capsys, "fig12")

@@ -1,0 +1,15 @@
+"""repro: reproduction of "Message Passing Versus Distributed Shared Memory
+on Networks of Workstations" (Lu, Dwarkadas, Cox, Zwaenepoel -- SC 1995).
+
+Public API:
+
+* ``repro.sim`` -- the simulated cluster substrate.
+* ``repro.tmk`` -- the TreadMarks-style software DSM runtime.
+* ``repro.pvm`` -- the PVM-style message-passing library.
+* ``repro.apps`` -- the nine benchmark applications, each in sequential,
+  TreadMarks, and PVM versions.
+* ``repro.bench`` -- the experiment harness reproducing the paper's tables
+  and figures.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,40 @@
+"""The nine benchmark applications, each in three versions.
+
+Every application module provides a parameter dataclass with ``tiny``
+(tests), ``bench`` (default benchmark), and ``paper`` (the paper's problem
+size) presets, plus three implementations sharing the same computational
+kernels:
+
+* ``sequential(meter, params)`` -- no PVM/TreadMarks calls, charges virtual
+  compute time to a meter (the Table 1 baseline);
+* ``tmk_main(proc, params)`` -- the TreadMarks port (``proc.tmk``);
+* ``pvm_main(proc, params)`` -- the PVM port (``proc.pvm``).
+
+Parallel results are verified against the sequential version -- the
+correctness proof of the DSM protocol and message-passing ports.
+"""
+
+from repro.apps import (barnes_hut, ep, fft3d, ilink, is_sort, qsort, sor,
+                        tsp, water)
+from repro.apps.base import (APPS, AppSpec, ParallelResult, SeqMeter,
+                             SeqResult, get_app, run_parallel, run_sequential)
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "ParallelResult",
+    "SeqMeter",
+    "SeqResult",
+    "barnes_hut",
+    "ep",
+    "fft3d",
+    "get_app",
+    "ilink",
+    "is_sort",
+    "qsort",
+    "run_parallel",
+    "run_sequential",
+    "sor",
+    "tsp",
+    "water",
+]

@@ -1,0 +1,198 @@
+"""Application harness: registry, runners, verification.
+
+The experiment flow mirrors the paper's methodology:
+
+* sequential time comes from a program "without any calls to PVM or
+  TreadMarks" (:func:`run_sequential`);
+* each parallel run reports the virtual time of its *measured window*
+  (applications open it after initialization, matching the paper's
+  warm-up exclusions) plus the full message statistics;
+* speedup is sequential time divided by measured parallel time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim.cluster import Cluster, ClusterResult, Processor
+from repro.sim.costmodel import CostModel
+from repro.sim.stats import MessageStats
+from repro.sim.trace import Trace
+from repro.tmk.api import TmkConfig, attach_tmk
+from repro.ivy.api import IvyConfig, attach_ivy
+from repro.pvm.api import attach_pvm
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "ParallelResult",
+    "SeqMeter",
+    "SeqResult",
+    "get_app",
+    "register",
+    "run_parallel",
+    "run_sequential",
+]
+
+
+def compute_polled(proc, total: float, poll, chunk: float = 5e-3) -> None:
+    """Charge ``total`` virtual seconds of master-side computation while
+    periodically invoking ``poll()``.
+
+    PVM's master/slave applications run the master and one slave as two
+    *time-shared processes* on processor 0; a single-threaded simulated
+    processor must emulate that by interleaving its own slave work with
+    servicing slave requests, or the co-located slave's long computations
+    would stall the whole cluster.
+    """
+    remaining = total
+    while remaining > 0:
+        dt = min(chunk, remaining)
+        proc.compute(dt)
+        remaining -= dt
+        poll()
+
+
+class SeqMeter:
+    """Virtual-time meter for sequential runs (no cluster, no messages)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.measure_from = 0.0
+
+    def compute(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("negative time advance")
+        self.now += dt
+
+    def mark(self) -> None:
+        """Open the measured window (end of initialization)."""
+        self.measure_from = self.now
+
+    @property
+    def measured(self) -> float:
+        return self.now - self.measure_from
+
+
+@dataclass
+class SeqResult:
+    result: Any
+    #: Virtual seconds inside the measured window (the Table 1 number).
+    time: float
+
+
+@dataclass
+class ParallelResult:
+    #: The application-level result (from the processor that owns it).
+    result: Any
+    #: Virtual seconds inside the measured window.
+    time: float
+    stats: MessageStats
+    cluster: ClusterResult
+    nprocs: int
+    system: str
+    #: Per-processor runtime endpoints (Tmk or Pvm objects), retained for
+    #: post-run diagnostics (see repro.bench.analysis).
+    endpoints: List[Any] = field(default_factory=list)
+
+    def total_messages(self) -> int:
+        return self.stats.total(self.system).messages
+
+    def total_kbytes(self) -> float:
+        return self.stats.total(self.system).bytes / 1024.0
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One application: its three implementations plus harness metadata."""
+
+    name: str
+    sequential: Callable[[Any, Any], Any]
+    tmk_main: Callable[[Processor, Any], Any]
+    pvm_main: Callable[[Processor, Any], Any]
+    #: Compare a parallel result against the sequential one.
+    verify: Callable[[Any, Any], bool]
+    #: Extract the canonical result from the per-processor return list.
+    collect: Callable[[List[Any]], Any] = staticmethod(lambda results: results[0])
+    #: Shared segment size this app needs under TreadMarks.
+    segment_bytes: int = 1 << 23
+
+
+APPS: Dict[str, AppSpec] = {}
+
+
+def register(spec: AppSpec) -> AppSpec:
+    if spec.name in APPS:
+        raise ValueError(f"duplicate app {spec.name!r}")
+    APPS[spec.name] = spec
+    return spec
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown app {name!r}; available: {sorted(APPS)}")
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def run_sequential(app: AppSpec | str, params: Any) -> SeqResult:
+    """The uninstrumented single-machine run (Table 1 baseline)."""
+    spec = get_app(app) if isinstance(app, str) else app
+    meter = SeqMeter()
+    result = spec.sequential(meter, params)
+    return SeqResult(result=result, time=meter.measured)
+
+
+def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
+                 cost: Optional[CostModel] = None,
+                 tmk_config: Optional[TmkConfig] = None,
+                 pvm_route: str = "direct",
+                 trace: Optional[Trace] = None) -> ParallelResult:
+    """Run one application on a fresh simulated cluster.
+
+    ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
+    consistent IVY baseline runs the TreadMarks version of the program
+    unmodified).  Returns the application result, the measured virtual
+    time, and the message statistics.
+    """
+    spec = get_app(app) if isinstance(app, str) else app
+    if system not in ("tmk", "pvm", "ivy"):
+        raise ValueError(
+            f"system must be 'tmk', 'pvm' or 'ivy', got {system!r}")
+    cluster = Cluster(nprocs, cost=cost, trace=trace)
+    if system == "tmk":
+        config = tmk_config
+        if config is None:
+            config = TmkConfig(segment_bytes=spec.segment_bytes)
+        attach_tmk(cluster, config)
+        main = spec.tmk_main
+    elif system == "ivy":
+        attach_ivy(cluster, IvyConfig(segment_bytes=spec.segment_bytes))
+        main = spec.tmk_main
+    else:
+        attach_pvm(cluster, route=pvm_route)
+        main = spec.pvm_main
+    outcome = cluster.run(main, args=(params,))
+    return ParallelResult(
+        result=spec.collect(outcome.results),
+        time=outcome.measured,
+        stats=outcome.stats,
+        cluster=outcome,
+        nprocs=nprocs,
+        system=system,
+        endpoints=[proc.pvm if system == "pvm" else proc.tmk
+                   for proc in cluster.procs],
+    )
+
+
+def verify_against_sequential(app: AppSpec | str, params: Any,
+                              system: str, nprocs: int) -> bool:
+    """Convenience used throughout the test suite."""
+    spec = get_app(app) if isinstance(app, str) else app
+    seq = run_sequential(spec, params)
+    par = run_parallel(spec, system, nprocs, params)
+    return spec.verify(par.result, seq.result)

@@ -1,0 +1,34 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+* :mod:`repro.bench.harness` -- the registry of the paper's 12 experiment
+  configurations, cached runners, and speedup series.
+* :mod:`repro.bench.tables` -- Table 1 (sequential times) and Table 2
+  (messages and data at 8 processors) renderers.
+* :mod:`repro.bench.figures` -- ASCII speedup curves in the style of the
+  paper's Figures 1-12.
+* :mod:`repro.bench.paper` -- the paper's qualitative expectations (who
+  wins, by roughly what factor) and checks against measured results.
+"""
+
+from repro.bench.harness import (EXPERIMENTS, Experiment, clear_cache,
+                                 messages_at, run_cached, seq_time,
+                                 speedup_series)
+from repro.bench.figures import render_figure
+from repro.bench.paper import EXPECTATIONS, Expectation, check_experiment
+from repro.bench.tables import render_table1, render_table2
+
+__all__ = [
+    "EXPECTATIONS",
+    "EXPERIMENTS",
+    "Expectation",
+    "Experiment",
+    "check_experiment",
+    "clear_cache",
+    "messages_at",
+    "render_figure",
+    "render_table1",
+    "render_table2",
+    "run_cached",
+    "seq_time",
+    "speedup_series",
+]

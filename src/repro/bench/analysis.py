@@ -1,0 +1,106 @@
+"""Execution-time decomposition for TreadMarks runs.
+
+The paper's prose quantifies *where* TreadMarks' time goes -- e.g. for
+TSP, "at 8 processors each process spends [a share] of [its] seconds
+waiting at lock acquires".  The simulator tracks the same quantities per
+processor (lock wait, barrier wait, fault wait / data fetch, and the
+residual useful computation plus protocol CPU); this module turns them
+into a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.apps.base import ParallelResult
+
+__all__ = ["ProcessorBreakdown", "RunBreakdown", "decompose",
+           "render_breakdown"]
+
+
+@dataclass(frozen=True)
+class ProcessorBreakdown:
+    """Where one simulated processor's virtual time went."""
+
+    pid: int
+    total: float
+    #: Blocked in Tmk_lock_acquire (the paper's TSP observation).
+    lock_wait: float
+    #: Blocked at barriers (arrival-to-departure).
+    barrier_wait: float
+    #: Inside page faults: request/response round trips + diff applies.
+    fault_wait: float
+    faults: int
+    piggyback_hits: int
+
+    @property
+    def other(self) -> float:
+        """Computation plus local protocol CPU (twins, diffs, service)."""
+        return max(0.0, self.total - self.lock_wait - self.barrier_wait
+                   - self.fault_wait)
+
+    def shares(self) -> dict:
+        if self.total <= 0:
+            return {"lock": 0.0, "barrier": 0.0, "fault": 0.0, "other": 0.0}
+        return {
+            "lock": self.lock_wait / self.total,
+            "barrier": self.barrier_wait / self.total,
+            "fault": self.fault_wait / self.total,
+            "other": self.other / self.total,
+        }
+
+
+@dataclass(frozen=True)
+class RunBreakdown:
+    """Per-processor decomposition of one TreadMarks run."""
+
+    processors: List[ProcessorBreakdown]
+
+    @property
+    def total(self) -> float:
+        return max(p.total for p in self.processors)
+
+    def mean_share(self, field: str) -> float:
+        """Average fraction of processor time spent in ``field``
+        (``lock``, ``barrier``, ``fault``, or ``other``)."""
+        shares = [p.shares()[field] for p in self.processors]
+        return sum(shares) / len(shares) if shares else 0.0
+
+
+def decompose(result: ParallelResult) -> RunBreakdown:
+    """Extract the per-processor wait breakdown from a finished TMK run."""
+    if result.system != "tmk":
+        raise ValueError("decompose() applies to TreadMarks runs")
+    if not result.endpoints:
+        raise ValueError("run carries no runtime endpoints")
+    out = []
+    for pid, tmk in enumerate(result.endpoints):
+        out.append(ProcessorBreakdown(
+            pid=pid,
+            total=result.cluster.finish_times[pid],
+            lock_wait=tmk.locks.wait_time,
+            barrier_wait=tmk.barriers.wait_time,
+            fault_wait=tmk.core.fault_wait_time,
+            faults=tmk.core.fault_count,
+            piggyback_hits=tmk.core.piggyback_hits,
+        ))
+    return RunBreakdown(processors=out)
+
+
+def render_breakdown(label: str, breakdown: RunBreakdown) -> str:
+    """Human-readable per-processor table plus the mean shares."""
+    rows = [f"Time decomposition: {label}",
+            "",
+            f"{'proc':>4}{'total(s)':>10}{'lock':>9}{'barrier':>9}"
+            f"{'fault':>9}{'other':>9}{'faults':>8}",
+            "-" * 58]
+    for p in breakdown.processors:
+        rows.append(f"{p.pid:>4}{p.total:>10.2f}{p.lock_wait:>9.2f}"
+                    f"{p.barrier_wait:>9.2f}{p.fault_wait:>9.2f}"
+                    f"{p.other:>9.2f}{p.faults:>8d}")
+    rows.append("")
+    rows.append("mean shares: " + "  ".join(
+        f"{name} {breakdown.mean_share(name) * 100:.0f}%"
+        for name in ("lock", "barrier", "fault", "other")))
+    return "\n".join(rows)

@@ -1,0 +1,63 @@
+"""ASCII renderings of the paper's speedup figures.
+
+Each of Figures 1-12 plots TreadMarks and PVM speedup against processor
+count (1..8) with the ideal diagonal for reference.  The renderer produces
+a fixed-size character plot plus the underlying series, so benchmark logs
+are self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_figure", "render_series_table"]
+
+_HEIGHT = 17  # rows for speedups 0..8 (half-unit resolution)
+_XCOLS = 4    # columns per processor count
+
+
+def render_series_table(nprocs: Sequence[int], tmk: Sequence[float],
+                        pvm: Sequence[float]) -> str:
+    header = "nprocs " + " ".join(f"{n:>6d}" for n in nprocs)
+    t_row = "TMK    " + " ".join(f"{v:>6.2f}" for v in tmk)
+    p_row = "PVM    " + " ".join(f"{v:>6.2f}" for v in pvm)
+    return "\n".join([header, t_row, p_row])
+
+
+def render_figure(title: str, nprocs: Sequence[int], tmk: Sequence[float],
+                  pvm: Sequence[float]) -> str:
+    """A character plot in the style of the paper's figures.
+
+    ``T`` marks the TreadMarks curve, ``P`` the PVM curve, ``*`` where they
+    coincide, and ``.`` the ideal (speedup == nprocs) diagonal.
+    """
+    width = max(nprocs) * _XCOLS + 1
+    grid: List[List[str]] = [[" "] * width for _ in range(_HEIGHT + 1)]
+
+    def put(n: int, speedup: float, mark: str) -> None:
+        row = _HEIGHT - int(round(min(max(speedup, 0.0), 8.0) * 2))
+        col = (n - 1) * _XCOLS
+        cur = grid[row][col]
+        if cur in (" ", "."):
+            grid[row][col] = mark
+        elif cur != mark:
+            grid[row][col] = "*"
+
+    for n in range(1, max(nprocs) + 1):
+        put(n, float(n), ".")
+    for n, v in zip(nprocs, tmk):
+        put(n, v, "T")
+    for n, v in zip(nprocs, pvm):
+        put(n, v, "P")
+
+    lines = [title, ""]
+    for i, row in enumerate(grid):
+        speedup = (_HEIGHT - i) / 2.0
+        ylabel = f"{speedup:4.1f} |" if speedup == int(speedup) else "     |"
+        lines.append(ylabel + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append("      " + "".join(f"{n:<{_XCOLS}d}" for n in range(1, max(nprocs) + 1))
+                 + " processors")
+    lines.append("")
+    lines.append(render_series_table(nprocs, tmk, pvm))
+    return "\n".join(lines)

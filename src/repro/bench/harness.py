@@ -1,0 +1,175 @@
+"""Experiment registry and cached runners.
+
+The paper evaluates nine applications, three of them with two input sets,
+giving twelve configurations (Figures 1-12 plus Tables 1 and 2).  Each
+:class:`Experiment` carries both a ``bench`` parameter preset (scaled to
+run the whole grid in minutes of host time) and the ``paper`` preset (the
+published problem size).
+
+Runs are memoized per process so Table 2 and the figures share the
+8-processor runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import base
+from repro.apps.barnes_hut import BhParams
+from repro.apps.ep import EpParams
+from repro.apps.fft3d import FftParams
+from repro.apps.ilink import IlinkParams
+from repro.apps.is_sort import IsParams
+from repro.apps.qsort import QsortParams
+from repro.apps.sor import SorParams
+from repro.apps.tsp import TspParams
+from repro.apps.water import WaterParams
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "clear_cache",
+    "messages_at",
+    "run_cached",
+    "seq_time",
+    "speedup_series",
+]
+
+#: The processor counts the paper's figures sweep.
+NPROCS_SERIES = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One of the paper's twelve evaluation configurations."""
+
+    exp_id: str
+    label: str
+    app: str
+    figure: int
+    bench_params: Any
+    paper_params: Any
+    #: Short description of the problem size, for Table 1's size column.
+    size_note: str
+
+
+EXPERIMENTS: Dict[str, Experiment] = {}
+
+
+def _add(exp: Experiment) -> None:
+    EXPERIMENTS[exp.exp_id] = exp
+
+
+_add(Experiment("fig01", "EP", "ep", 1,
+                EpParams.bench(), EpParams.paper(),
+                "2^{log2_pairs} Gaussian pairs"))
+_add(Experiment("fig02", "SOR-Zero", "sor", 2,
+                SorParams.bench(), SorParams.paper(),
+                "{rows} x 2x{width} doubles, zero interior"))
+_add(Experiment("fig03", "SOR-NonZero", "sor", 3,
+                SorParams.bench(nonzero=True), SorParams.paper(nonzero=True),
+                "{rows} x 2x{width} doubles, nonzero"))
+_add(Experiment("fig04", "IS-Small", "is", 4,
+                IsParams.bench_small(), IsParams.paper_small(),
+                "N=2^{log2_keys}, Bmax=2^{log2_bmax}"))
+_add(Experiment("fig05", "IS-Large", "is", 5,
+                IsParams.bench_large(), IsParams.paper_large(),
+                "N=2^{log2_keys}, Bmax=2^{log2_bmax}"))
+_add(Experiment("fig06", "TSP", "tsp", 6,
+                TspParams.bench(), TspParams.paper(),
+                "{ncities} cities, threshold {threshold}"))
+_add(Experiment("fig07", "QSORT", "qsort", 7,
+                QsortParams.bench(), QsortParams.paper(),
+                "{nkeys} integers, bubble threshold {threshold}"))
+_add(Experiment("fig08", "Water-288", "water", 8,
+                WaterParams.bench_288(), WaterParams.paper_288(),
+                "{nmol} molecules, {steps} steps"))
+_add(Experiment("fig09", "Water-1728", "water", 9,
+                WaterParams.bench_1728(), WaterParams.paper_1728(),
+                "{nmol} molecules, {steps} steps"))
+_add(Experiment("fig10", "Barnes-Hut", "barnes_hut", 10,
+                BhParams.bench(), BhParams.paper(),
+                "{nbodies} bodies, {steps} steps"))
+_add(Experiment("fig11", "3D-FFT", "fft3d", 11,
+                FftParams.bench(), FftParams.paper(),
+                "{n1}x{n2}x{n3} complex, {iterations} iterations"))
+_add(Experiment("fig12", "ILINK", "ilink", 12,
+                IlinkParams.bench(), IlinkParams.paper(),
+                "synthetic CLP-like pedigree, {families} families"))
+
+
+def params_for(exp: Experiment, preset: str = "bench") -> Any:
+    if preset == "bench":
+        return exp.bench_params
+    if preset == "paper":
+        return exp.paper_params
+    raise ValueError(f"unknown preset {preset!r}")
+
+
+def size_string(exp: Experiment, preset: str = "bench") -> str:
+    params = params_for(exp, preset)
+    try:
+        return exp.size_note.format(**vars(params))
+    except (KeyError, IndexError):
+        return exp.size_note
+
+
+# ----------------------------------------------------------------------
+# Cached runners
+# ----------------------------------------------------------------------
+_SEQ_CACHE: Dict[Tuple[str, str], base.SeqResult] = {}
+_PAR_CACHE: Dict[Tuple[str, str, str, int], base.ParallelResult] = {}
+
+
+def clear_cache() -> None:
+    _SEQ_CACHE.clear()
+    _PAR_CACHE.clear()
+
+
+def seq_time(exp_id: str, preset: str = "bench") -> float:
+    """Sequential virtual time (the Table 1 number)."""
+    return _seq(exp_id, preset).time
+
+
+def _seq(exp_id: str, preset: str) -> base.SeqResult:
+    key = (exp_id, preset)
+    if key not in _SEQ_CACHE:
+        exp = EXPERIMENTS[exp_id]
+        _SEQ_CACHE[key] = base.run_sequential(exp.app, params_for(exp, preset))
+    return _SEQ_CACHE[key]
+
+
+def run_cached(exp_id: str, system: str, nprocs: int,
+               preset: str = "bench") -> base.ParallelResult:
+    """One parallel run, memoized, with its result verified against the
+    sequential version (every bench run is also a correctness check)."""
+    key = (exp_id, preset, system, nprocs)
+    if key not in _PAR_CACHE:
+        exp = EXPERIMENTS[exp_id]
+        result = base.run_parallel(exp.app, system, nprocs,
+                                   params_for(exp, preset))
+        seq = _seq(exp_id, preset)
+        spec = base.get_app(exp.app)
+        if not spec.verify(result.result, seq.result):
+            raise AssertionError(
+                f"{exp_id} ({system}, {nprocs} procs): parallel result "
+                "does not match the sequential run")
+        _PAR_CACHE[key] = result
+    return _PAR_CACHE[key]
+
+
+def speedup_series(exp_id: str, system: str,
+                   nprocs_list: Sequence[int] = NPROCS_SERIES,
+                   preset: str = "bench") -> List[float]:
+    """Speedups over the sequential run (one of the paper's curves)."""
+    seq = seq_time(exp_id, preset)
+    return [seq / run_cached(exp_id, system, n, preset).time
+            for n in nprocs_list]
+
+
+def messages_at(exp_id: str, system: str, nprocs: int = 8,
+                preset: str = "bench") -> Tuple[int, float]:
+    """(messages, kilobytes) for one system at ``nprocs`` (Table 2)."""
+    run = run_cached(exp_id, system, nprocs, preset)
+    return run.total_messages(), run.total_kbytes()

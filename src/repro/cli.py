@@ -1,0 +1,154 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    list                       the twelve experiment configurations
+    run EXP [options]          one simulated run, with stats + breakdown
+    figure EXP [options]       a paper figure (speedup curves)
+    table1 / table2 [options]  the paper's tables
+    trace APP [options]        a traced TreadMarks run (protocol timeline)
+
+Everything prints to stdout; all commands accept ``--preset paper`` for
+the paper's full problem sizes (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TreadMarks vs PVM on a simulated network of "
+                    "workstations (Lu et al., SC '95 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment configurations")
+
+    run = sub.add_parser("run", help="run one experiment configuration")
+    run.add_argument("experiment", help="experiment id (fig01..fig12)")
+    run.add_argument("--system", choices=("tmk", "pvm"), default="tmk")
+    run.add_argument("--nprocs", type=int, default=8)
+    run.add_argument("--preset", choices=("bench", "paper"), default="bench")
+
+    figure = sub.add_parser("figure", help="render one paper figure")
+    figure.add_argument("experiment", help="experiment id (fig01..fig12)")
+    figure.add_argument("--nprocs", default="1,2,4,8",
+                        help="comma-separated processor counts")
+    figure.add_argument("--preset", choices=("bench", "paper"),
+                        default="bench")
+
+    for name, help_text in (("table1", "sequential times (Table 1)"),
+                            ("table2", "messages and data (Table 2)")):
+        table = sub.add_parser(name, help=help_text)
+        table.add_argument("--preset", choices=("bench", "paper"),
+                           default="bench")
+
+    trace = sub.add_parser("trace",
+                           help="run an app under TreadMarks with the "
+                                "protocol trace enabled")
+    trace.add_argument("app", help="application name (e.g. sor, is, tsp)")
+    trace.add_argument("--nprocs", type=int, default=2)
+    trace.add_argument("--limit", type=int, default=60,
+                       help="max trace lines to print")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command bodies (return the text they print, for testability)
+# ----------------------------------------------------------------------
+def cmd_list() -> str:
+    from repro.bench import harness
+    rows = [f"{'id':<8}{'figure':<8}{'label':<14}{'bench size':<40}",
+            "-" * 70]
+    for exp_id, exp in harness.EXPERIMENTS.items():
+        rows.append(f"{exp_id:<8}{exp.figure:<8}{exp.label:<14}"
+                    f"{harness.size_string(exp):<40}")
+    return "\n".join(rows)
+
+
+def cmd_run(experiment: str, system: str, nprocs: int, preset: str) -> str:
+    from repro.bench import harness
+    from repro.bench.analysis import decompose, render_breakdown
+    if experiment not in harness.EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {experiment!r}; "
+                         f"try: {', '.join(harness.EXPERIMENTS)}")
+    exp = harness.EXPERIMENTS[experiment]
+    seq = harness.seq_time(experiment, preset)
+    run = harness.run_cached(experiment, system, nprocs, preset)
+    rows = [
+        f"{exp.label} / {system} / {nprocs} processors ({preset} preset)",
+        "",
+        f"sequential time   {seq:10.2f} virtual s",
+        f"parallel time     {run.time:10.2f} virtual s",
+        f"speedup           {seq / run.time:10.2f}",
+        f"messages          {run.total_messages():10d}",
+        f"data              {run.total_kbytes():10.0f} KB",
+        f"link utilization  {run.cluster.link_utilization:10.2f}",
+        "",
+        run.stats.summary(system),
+    ]
+    if system == "tmk":
+        rows += ["", render_breakdown(exp.label, decompose(run))]
+    return "\n".join(rows)
+
+
+def cmd_figure(experiment: str, nprocs: str, preset: str) -> str:
+    from repro.bench import harness
+    from repro.bench.figures import render_figure
+    if experiment not in harness.EXPERIMENTS:
+        raise SystemExit(f"unknown experiment {experiment!r}")
+    exp = harness.EXPERIMENTS[experiment]
+    counts = tuple(int(v) for v in nprocs.split(","))
+    tmk = harness.speedup_series(experiment, "tmk", counts, preset)
+    pvm = harness.speedup_series(experiment, "pvm", counts, preset)
+    return render_figure(
+        f"Figure {exp.figure}: {exp.label} "
+        f"({harness.size_string(exp, preset)})", counts, tmk, pvm)
+
+
+def cmd_table(which: str, preset: str) -> str:
+    from repro.bench import tables
+    if which == "table1":
+        return tables.render_table1(preset=preset)
+    return tables.render_table2(preset=preset)
+
+
+def cmd_trace(app: str, nprocs: int, limit: int) -> str:
+    from repro.apps import base
+    from repro.sim.trace import Trace
+
+    spec = base.get_app(app)
+    params_module = sys.modules[spec.sequential.__module__]
+    params_cls = next(v for k, v in vars(params_module).items()
+                      if k.endswith("Params"))
+    params = params_cls.tiny()
+    trace = Trace(enabled=True)
+    base.run_parallel(spec, "tmk", nprocs, params, trace=trace)
+    header = f"TreadMarks protocol trace: {app} (tiny preset, " \
+             f"{nprocs} processors, first {limit} events)"
+    return header + "\n\n" + trace.format(limit=limit)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(cmd_list())
+    elif args.command == "run":
+        print(cmd_run(args.experiment, args.system, args.nprocs, args.preset))
+    elif args.command == "figure":
+        print(cmd_figure(args.experiment, args.nprocs, args.preset))
+    elif args.command in ("table1", "table2"):
+        print(cmd_table(args.command, args.preset))
+    elif args.command == "trace":
+        print(cmd_trace(args.app, args.nprocs, args.limit))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""PVM-style message-passing library on the simulated cluster.
+
+Mirrors the PVM 3.3 user interface the paper uses:
+
+* typed pack/unpack buffers with stride (:mod:`repro.pvm.buffers`);
+* non-blocking sends, blocking and non-blocking receives, multicast and
+  broadcast (:mod:`repro.pvm.api`);
+* a daemon layer with optional daemon-routed messaging; the paper's
+  experiments use *direct* TCP connections between user processes, which is
+  the default here (:mod:`repro.pvm.daemon`).
+
+Accounting matches the paper: user-level messages and user data bytes.
+"""
+
+from repro.pvm.api import Pvm, PvmError, PvmTypeMismatch, attach_pvm
+from repro.pvm.buffers import DataFormat, ReceiveBuffer, SendBuffer
+from repro.pvm.daemon import DaemonNetwork
+
+__all__ = [
+    "DaemonNetwork",
+    "DataFormat",
+    "Pvm",
+    "PvmError",
+    "PvmTypeMismatch",
+    "ReceiveBuffer",
+    "SendBuffer",
+    "attach_pvm",
+]

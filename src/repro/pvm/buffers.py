@@ -1,0 +1,210 @@
+"""Typed pack/unpack buffers (the pvm_pk* / pvm_upk* interface).
+
+With PVM, user data must be packed into a send buffer before dispatch and
+unpacked from a receive buffer afterwards.  Every packing routine takes the
+start of the user data, the number of items, and a stride; unpack calls must
+match the corresponding pack calls in type and item count -- violations
+raise :class:`PvmTypeMismatch` just as real PVM returns ``PvmNoData`` /
+garbage.
+
+Buffers may use the *raw* data format (no conversion; valid because the
+paper's cluster is homogeneous and disables XDR) or the *default* format
+(XDR external data representation, charged extra per-byte conversion cost).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DataFormat", "PvmTypeMismatch", "ReceiveBuffer", "SendBuffer", "TYPE_DTYPES"]
+
+
+class PvmTypeMismatch(TypeError):
+    """Unpack call does not match the corresponding pack call."""
+
+
+class DataFormat(enum.Enum):
+    """Encoding of a message on the wire (pvm_initsend argument)."""
+
+    #: ``PvmDataRaw`` -- native byte order, no conversion.
+    RAW = "raw"
+    #: ``PvmDataDefault`` -- XDR conversion on pack and unpack.
+    XDR = "xdr"
+
+
+#: PVM type code -> numpy dtype.
+TYPE_DTYPES = {
+    "byte": np.dtype(np.uint8),
+    "short": np.dtype(np.int16),
+    "int": np.dtype(np.int32),
+    "uint": np.dtype(np.uint32),
+    "long": np.dtype(np.int64),
+    "float": np.dtype(np.float32),
+    "double": np.dtype(np.float64),
+    "dcplx": np.dtype(np.complex128),
+}
+
+
+def _strided(values: Sequence | np.ndarray, count: int, stride: int,
+             dtype: np.dtype) -> np.ndarray:
+    """Extract ``count`` items with ``stride`` from ``values`` as ``dtype``."""
+    arr = np.asarray(values)
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    flat = arr.reshape(-1)
+    needed = (count - 1) * stride + 1 if count > 0 else 0
+    if flat.size < needed:
+        raise ValueError(
+            f"pack of {count} items with stride {stride} needs {needed} "
+            f"elements, got {flat.size}")
+    return flat[: needed: stride].astype(dtype, copy=True)
+
+
+@dataclass
+class _Segment:
+    typecode: str
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+
+class SendBuffer:
+    """An outgoing message under construction (pvm_initsend result)."""
+
+    def __init__(self, fmt: DataFormat = DataFormat.RAW) -> None:
+        self.fmt = fmt
+        self._segments: List[_Segment] = []
+        self._sent = False
+
+    # -- generic pack ---------------------------------------------------
+    def pack(self, typecode: str, values, count: int | None = None,
+             stride: int = 1) -> "SendBuffer":
+        if self._sent:
+            raise RuntimeError("buffer already dispatched; pvm_initsend again")
+        dtype = TYPE_DTYPES.get(typecode)
+        if dtype is None:
+            raise PvmTypeMismatch(f"unknown PVM type code {typecode!r}")
+        arr = np.asarray(values)
+        if count is None:
+            count = arr.size if stride == 1 else (arr.size + stride - 1) // stride
+        self._segments.append(_Segment(typecode, _strided(arr, count, stride, dtype)))
+        return self
+
+    # -- the pvm_pk* family ----------------------------------------------
+    def pkbyte(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("byte", values, count, stride)
+
+    def pkshort(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("short", values, count, stride)
+
+    def pkint(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("int", values, count, stride)
+
+    def pkuint(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("uint", values, count, stride)
+
+    def pklong(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("long", values, count, stride)
+
+    def pkfloat(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("float", values, count, stride)
+
+    def pkdouble(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("double", values, count, stride)
+
+    def pkdcplx(self, values, count: int | None = None, stride: int = 1):
+        return self.pack("dcplx", values, count, stride)
+
+    def pkstr(self, text: str) -> "SendBuffer":
+        return self.pack("byte", np.frombuffer(text.encode(), dtype=np.uint8))
+
+    # ---------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """User data bytes in the buffer (the paper's PVM data metric)."""
+        return sum(seg.nbytes for seg in self._segments)
+
+    @property
+    def nitems(self) -> int:
+        return sum(seg.data.size for seg in self._segments)
+
+    def _freeze(self) -> Tuple[Tuple[str, np.ndarray], ...]:
+        """Snapshot for transmission (marks the buffer dispatched)."""
+        self._sent = True
+        return tuple((seg.typecode, seg.data) for seg in self._segments)
+
+
+class ReceiveBuffer:
+    """An arrived message being consumed by pvm_upk* calls."""
+
+    def __init__(self, segments: Tuple[Tuple[str, np.ndarray], ...],
+                 src: int, tag: int, fmt: DataFormat) -> None:
+        self._segments = segments
+        self._next = 0
+        self.src = src
+        self.tag = tag
+        self.fmt = fmt
+
+    # -- generic unpack ---------------------------------------------------
+    def unpack(self, typecode: str, count: int) -> np.ndarray:
+        if self._next >= len(self._segments):
+            raise PvmTypeMismatch(
+                f"unpack of {count} {typecode!r} past end of message")
+        got_type, data = self._segments[self._next]
+        if got_type != typecode:
+            raise PvmTypeMismatch(
+                f"unpack type {typecode!r} does not match packed {got_type!r}")
+        if data.size != count:
+            raise PvmTypeMismatch(
+                f"unpack of {count} {typecode!r} items, message segment has "
+                f"{data.size}")
+        self._next += 1
+        return data.copy()
+
+    # -- the pvm_upk* family ------------------------------------------------
+    def upkbyte(self, count: int) -> np.ndarray:
+        return self.unpack("byte", count)
+
+    def upkshort(self, count: int) -> np.ndarray:
+        return self.unpack("short", count)
+
+    def upkint(self, count: int) -> np.ndarray:
+        return self.unpack("int", count)
+
+    def upkuint(self, count: int) -> np.ndarray:
+        return self.unpack("uint", count)
+
+    def upklong(self, count: int) -> np.ndarray:
+        return self.unpack("long", count)
+
+    def upkfloat(self, count: int) -> np.ndarray:
+        return self.unpack("float", count)
+
+    def upkdouble(self, count: int) -> np.ndarray:
+        return self.unpack("double", count)
+
+    def upkdcplx(self, count: int) -> np.ndarray:
+        return self.unpack("dcplx", count)
+
+    def upkstr(self) -> str:
+        if self._next >= len(self._segments):
+            raise PvmTypeMismatch("unpack of string past end of message")
+        got_type, data = self._segments[self._next]
+        if got_type != "byte":
+            raise PvmTypeMismatch(f"upkstr on a {got_type!r} segment")
+        self._next += 1
+        return bytes(data.tobytes()).decode()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(data.nbytes for _, data in self._segments)
+
+    @property
+    def remaining_segments(self) -> int:
+        return len(self._segments) - self._next

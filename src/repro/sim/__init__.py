@@ -1,0 +1,36 @@
+"""Simulated network-of-workstations substrate.
+
+This subpackage provides the execution environment that stands in for the
+paper's physical testbed (8 HP-735 workstations on a 100 Mbit/s FDDI ring):
+
+* :mod:`repro.sim.engine` -- deterministic virtual-time scheduler running one
+  simulated processor (a Python thread) at a time.
+* :mod:`repro.sim.network` -- shared-medium FDDI link model with UDP and TCP
+  endpoints, fragmentation and contention.
+* :mod:`repro.sim.cluster` -- the ``Cluster``/``Processor`` harness on which
+  the TreadMarks and PVM runtimes are layered.
+* :mod:`repro.sim.costmodel` -- every timing constant in one place.
+* :mod:`repro.sim.stats` -- message/byte accounting mirroring the paper's
+  Table 2 methodology.
+"""
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Engine, EngineDeadlock, SimAborted, SimThread
+from repro.sim.cluster import Cluster, Processor
+from repro.sim.network import Network, TcpChannel, UdpChannel
+from repro.sim.stats import MessageStats, StatKey
+
+__all__ = [
+    "CostModel",
+    "Cluster",
+    "Engine",
+    "EngineDeadlock",
+    "MessageStats",
+    "Network",
+    "Processor",
+    "SimAborted",
+    "SimThread",
+    "StatKey",
+    "TcpChannel",
+    "UdpChannel",
+]

@@ -1,0 +1,233 @@
+"""The simulated workstation cluster.
+
+A :class:`Cluster` bundles the virtual-time engine, the FDDI network, the
+statistics collector, and ``nprocs`` :class:`Processor` objects.  The
+TreadMarks and PVM runtimes attach themselves to processors and register
+message handlers; application code receives its :class:`Processor` and calls
+the runtime's API plus :meth:`Processor.compute` to charge virtual work time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Engine, SimThread
+from repro.sim.network import Delivery, Network
+from repro.sim.stats import MessageStats
+from repro.sim.trace import Trace
+
+__all__ = ["Cluster", "ClusterResult", "Mailbox", "Processor"]
+
+_EMPTY = object()
+
+
+class Mailbox:
+    """Single-use reply slot for synchronous request/response exchanges.
+
+    The requesting processor sends a request carrying this mailbox, then
+    calls :meth:`wait`; the responder's handler eventually calls
+    :meth:`put` (via a posted delivery), which wakes the requester at the
+    response's arrival time.
+    """
+
+    __slots__ = ("proc", "_value", "_time", "_waiting")
+
+    def __init__(self, proc: "Processor") -> None:
+        self.proc = proc
+        self._value: Any = _EMPTY
+        self._time = 0.0
+        self._waiting = False
+
+    def put(self, value: Any, time: float) -> None:
+        if self._value is not _EMPTY:
+            raise RuntimeError("mailbox filled twice")
+        self._value = value
+        self._time = time
+        if self._waiting:
+            self.proc.unblock(time)
+
+    def wait(self, reason: str) -> Any:
+        """Block until filled; advances the caller's clock to arrival time."""
+        if self._value is _EMPTY:
+            self._waiting = True
+            self.proc.block(reason)
+            self._waiting = False
+        if self._value is _EMPTY:
+            raise RuntimeError(f"mailbox woken empty while waiting for {reason}")
+        if self._time > self.proc.now:
+            self.proc.set_now(self._time)
+        return self._value
+
+
+class Processor:
+    """One simulated workstation."""
+
+    def __init__(self, cluster: "Cluster", pid: int) -> None:
+        self.cluster = cluster
+        self.pid = pid
+        self.thread: Optional[SimThread] = None
+        self._handlers: Dict[str, Callable[[Delivery], None]] = {}
+        #: Runtime attachment points, set by the TreadMarks / PVM layers.
+        self.tmk: Any = None
+        self.pvm: Any = None
+
+    # ------------------------------------------------------------------
+    # Virtual time (app-thread side)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        assert self.thread is not None
+        return self.thread.clock
+
+    def set_now(self, t: float) -> None:
+        assert self.thread is not None
+        if t < self.thread.clock:
+            raise ValueError(
+                f"P{self.pid}: clock may not move backwards "
+                f"({self.thread.clock} -> {t})")
+        self.thread.clock = t
+
+    def compute(self, dt: float) -> None:
+        """Charge ``dt`` virtual seconds of local computation."""
+        assert self.thread is not None
+        self.thread.advance(dt)
+
+    def yield_point(self) -> None:
+        """Let every causally-earlier event/thread run first."""
+        assert self.thread is not None
+        self.thread.yield_point()
+
+    def block(self, reason: str) -> float:
+        assert self.thread is not None
+        return self.thread.block(reason)
+
+    def unblock(self, wake_time: float) -> None:
+        assert self.thread is not None
+        self.cluster.engine.unblock(self.thread, wake_time)
+
+    # ------------------------------------------------------------------
+    # Handler side (runs in scheduler context at message arrival)
+    # ------------------------------------------------------------------
+    def charge_service(self, dt: float) -> None:
+        """Charge interrupt-service CPU time to this processor.
+
+        Modeled after TreadMarks' SIGIO request handling: servicing a peer's
+        request steals compute time from whatever the processor was doing.
+        """
+        assert self.thread is not None
+        if dt < 0:
+            raise ValueError("negative service charge")
+        self.thread.clock += dt
+
+    def register(self, category: str, handler: Callable[[Delivery], None]) -> None:
+        if category in self._handlers:
+            raise ValueError(f"P{self.pid}: duplicate handler for {category!r}")
+        self._handlers[category] = handler
+
+    def deliver(self, delivery: Delivery) -> None:
+        handler = self._handlers.get(delivery.category)
+        if handler is None:
+            raise RuntimeError(
+                f"P{self.pid}: no handler for message category "
+                f"{delivery.category!r} from P{delivery.src}")
+        handler(delivery)
+
+    def mailbox(self) -> Mailbox:
+        return Mailbox(self)
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        self.cluster.trace.record(self.now if self.thread else 0.0,
+                                  self.pid, kind, detail)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Processor {self.pid}>"
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one simulated parallel run."""
+
+    results: List[Any]
+    #: Virtual time at which the last processor finished.
+    elapsed: float
+    stats: MessageStats
+    #: Per-processor finish times (load-imbalance diagnostics).
+    finish_times: List[float] = field(default_factory=list)
+    #: Fraction of elapsed time the FDDI ring carried a frame.
+    link_utilization: float = 0.0
+    #: Virtual time at which the measured window opened (0 if never marked).
+    measure_from: float = 0.0
+
+    @property
+    def measured(self) -> float:
+        """Elapsed virtual time inside the measured window.
+
+        Applications open the window (via ``Cluster.start_measurement``)
+        after initialization/warm-up, mirroring the paper's exclusions
+        (e.g. SOR excludes the first iteration, Barnes-Hut the first
+        timesteps, 3-D FFT the initial distribution).
+        """
+        return self.elapsed - self.measure_from
+
+
+class Cluster:
+    """``nprocs`` simulated workstations on one FDDI ring."""
+
+    def __init__(self, nprocs: int, cost: Optional[CostModel] = None,
+                 trace: Optional[Trace] = None) -> None:
+        if nprocs < 1:
+            raise ValueError("need at least one processor")
+        self.nprocs = nprocs
+        self.cost = cost if cost is not None else CostModel.paper_testbed()
+        self.trace = trace if trace is not None else Trace()
+        self.engine = Engine()
+        self.stats = MessageStats()
+        self.net = Network(self.engine, self.cost, self.stats)
+        self.net.attach(self._dispatch)
+        self.procs = [Processor(self, pid) for pid in range(nprocs)]
+        self._measure_from = 0.0
+        self._measure_until: Optional[float] = None
+        self._frozen_stats: Optional[MessageStats] = None
+
+    def start_measurement(self, proc: Processor) -> None:
+        """Open the measured window: reset traffic stats, mark the clock.
+
+        Call from exactly one processor (conventionally 0), immediately
+        after a synchronization point so all clocks are aligned.
+        """
+        self._measure_from = proc.now
+        self.stats.reset()
+
+    def stop_measurement(self, proc: Processor) -> None:
+        """Close the measured window: freeze the traffic statistics.
+
+        Use when out-of-band work (e.g. re-reading the whole result for
+        verification) follows the program proper and must not count.
+        """
+        self._measure_until = proc.now
+        self._frozen_stats = self.stats.snapshot()
+
+    def _dispatch(self, delivery: Delivery) -> None:
+        self.procs[delivery.dst].deliver(delivery)
+
+    def run(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> ClusterResult:
+        """Run ``fn(proc, *args)`` on every processor to completion."""
+        for proc in self.procs:
+            proc.thread = self.engine.spawn(
+                f"P{proc.pid}", (lambda p=proc: fn(p, *args)))
+        self.engine.run()
+        finish = [proc.thread.clock for proc in self.procs]
+        elapsed = max(finish)
+        if self._measure_until is not None:
+            elapsed = self._measure_until
+        return ClusterResult(
+            results=[proc.thread.result for proc in self.procs],
+            elapsed=elapsed,
+            stats=(self._frozen_stats if self._frozen_stats is not None
+                   else self.stats),
+            finish_times=finish,
+            link_utilization=self.net.link.utilization(elapsed),
+            measure_from=self._measure_from,
+        )

@@ -1,0 +1,282 @@
+"""Deterministic virtual-time execution engine.
+
+The engine multiplexes *simulated processors* -- each backed by a real Python
+thread running ordinary application code -- onto a single host thread of
+execution.  Exactly one simulated thread runs at a time; whenever a thread
+reaches a *yield point* (any runtime operation: page fault, lock, barrier,
+message send/receive) control returns to the scheduler, which always resumes
+the runnable entity with the smallest virtual time.  Because interaction
+between processors happens only through posted events (message arrivals),
+this "smallest-time-first" policy yields bit-for-bit deterministic runs
+independent of host thread scheduling.
+
+Two kinds of schedulable entities exist:
+
+* **threads** -- simulated processors, each with its own virtual ``clock``
+  that advances when the processor performs local computation
+  (:meth:`SimThread.advance`) or blocks waiting for an event;
+* **events** -- ``(time, callback)`` pairs posted by the network layer to
+  model message arrival.  Event callbacks run in the scheduler's host thread
+  and typically invoke runtime-level request handlers (the analogue of
+  TreadMarks' SIGIO-driven servicing), wake blocked threads, or post further
+  events.
+
+A thread may run ahead of the global minimum virtual time during pure local
+computation; causal correctness is preserved because every runtime operation
+yields *before* acting, so all events and runnable threads with earlier
+virtual times execute first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine", "EngineDeadlock", "SimAborted", "SimThread"]
+
+
+class EngineDeadlock(RuntimeError):
+    """Raised when every simulated thread is blocked and no events remain."""
+
+
+class SimAborted(BaseException):
+    """Injected into simulated threads to unwind them after a failure.
+
+    Derives from ``BaseException`` so that application-level ``except
+    Exception`` blocks cannot swallow the abort.
+    """
+
+
+# Thread lifecycle states.
+_NEW = "new"
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class SimThread:
+    """A simulated processor's execution context.
+
+    Wraps a host :class:`threading.Thread` plus a virtual clock.  All
+    scheduling handshakes go through :class:`Engine`; application code should
+    only ever touch :attr:`clock` indirectly via the runtime layers.
+    """
+
+    __slots__ = (
+        "engine",
+        "tid",
+        "name",
+        "clock",
+        "state",
+        "block_reason",
+        "_fn",
+        "_go",
+        "_host",
+        "result",
+        "exception",
+        "_wake_time",
+    )
+
+    def __init__(self, engine: "Engine", tid: int, name: str, clock: float,
+                 fn: Callable[[], Any]):
+        self.engine = engine
+        self.tid = tid
+        self.name = name
+        self.clock = clock
+        self.state = _NEW
+        self.block_reason: Optional[str] = None
+        self._fn = fn
+        self._go = threading.Event()
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._wake_time: float = clock
+        self._host = threading.Thread(
+            target=self._bootstrap, name=f"sim:{name}", daemon=True)
+
+    # ------------------------------------------------------------------
+    # Host-thread body
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        self._go.wait()
+        self._go.clear()
+        try:
+            if self.engine._aborting:
+                raise SimAborted()
+            self.result = self._fn()
+        except SimAborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - report any failure
+            self.exception = exc
+        finally:
+            self.state = _DONE
+            self.engine._back.set()
+
+    # ------------------------------------------------------------------
+    # Called from within the simulated thread
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> None:
+        """Charge ``dt`` virtual seconds of local computation."""
+        if dt < 0:
+            raise ValueError(f"negative time advance: {dt!r}")
+        self.clock += dt
+
+    def yield_point(self) -> None:
+        """Return control to the scheduler until it is this thread's turn.
+
+        Every runtime operation calls this *before* acting so that all
+        causally-earlier events and threads execute first.
+        """
+        self.state = _READY
+        self.engine._back.set()
+        self._go.wait()
+        self._go.clear()
+        if self.engine._aborting:
+            raise SimAborted()
+        self.state = _RUNNING
+
+    def block(self, reason: str) -> float:
+        """Suspend until another entity calls :meth:`Engine.unblock`.
+
+        Returns the wake-up virtual time; the clock has already been advanced
+        to ``max(clock, wake_time)``.
+        """
+        self.state = _BLOCKED
+        self.block_reason = reason
+        self.engine._back.set()
+        self._go.wait()
+        self._go.clear()
+        if self.engine._aborting:
+            raise SimAborted()
+        self.state = _RUNNING
+        self.block_reason = None
+        if self._wake_time > self.clock:
+            self.clock = self._wake_time
+        return self.clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimThread {self.name} tid={self.tid} state={self.state} "
+                f"clock={self.clock:.6f} reason={self.block_reason!r}>")
+
+
+class Engine:
+    """Virtual-time scheduler for simulated threads and message events."""
+
+    def __init__(self) -> None:
+        self._threads: list[SimThread] = []
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._back = threading.Event()
+        self._aborting = False
+        self._running = False
+        #: Monotonically non-decreasing time of the last scheduled entity.
+        self.horizon = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, fn: Callable[[], Any], clock: float = 0.0) -> SimThread:
+        """Register a simulated thread; it starts when :meth:`run` executes."""
+        if self._running:
+            raise RuntimeError("cannot spawn threads while engine is running")
+        th = SimThread(self, len(self._threads), name, clock, fn)
+        self._threads.append(th)
+        return th
+
+    def post(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` to run at virtual ``time``.
+
+        Events with equal times run in posting order.
+        """
+        if time < 0:
+            raise ValueError(f"negative event time: {time!r}")
+        self._event_seq += 1
+        heapq.heappush(self._events, (time, self._event_seq, fn))
+
+    def unblock(self, thread: SimThread, wake_time: float) -> None:
+        """Make a blocked thread runnable again at ``wake_time``."""
+        if thread.state != _BLOCKED:
+            raise RuntimeError(
+                f"unblock of non-blocked thread {thread.name} ({thread.state})")
+        thread._wake_time = wake_time
+        thread.state = _READY
+
+    # ------------------------------------------------------------------
+    # Scheduler loop (runs in the host's calling thread)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Drive the simulation until every thread finishes.
+
+        Raises the first exception raised inside a simulated thread, or
+        :class:`EngineDeadlock` if all threads block with no pending events.
+        """
+        if self._running:
+            raise RuntimeError("engine is already running")
+        self._running = True
+        for th in self._threads:
+            if th.state == _NEW:
+                th.state = _READY
+                th._host.start()
+        try:
+            self._loop()
+        except BaseException:
+            self._abort()
+            raise
+        finally:
+            self._running = False
+
+    def _loop(self) -> None:
+        while True:
+            failed = next((t for t in self._threads if t.exception), None)
+            if failed is not None:
+                exc = failed.exception
+                failed.exception = None
+                raise exc
+            if all(t.state == _DONE for t in self._threads):
+                # Drain in-flight events (e.g. messages still on the wire)
+                # so trailing deliveries and their CPU charges complete.
+                while self._events:
+                    _, _, fn = heapq.heappop(self._events)
+                    fn()
+                if all(t.state == _DONE for t in self._threads):
+                    return
+                continue
+
+            # Pick the schedulable entity with the smallest virtual time;
+            # events win ties so request handlers run before threads proceed.
+            ready = [t for t in self._threads if t.state == _READY]
+            next_thread = min(ready, key=lambda t: (t.clock, t.tid), default=None)
+            next_event_time = self._events[0][0] if self._events else None
+
+            if next_event_time is not None and (
+                    next_thread is None or next_event_time <= next_thread.clock):
+                time, _, fn = heapq.heappop(self._events)
+                self.horizon = max(self.horizon, time)
+                fn()
+                continue
+
+            if next_thread is None:
+                blocked = [t for t in self._threads if t.state == _BLOCKED]
+                detail = ", ".join(
+                    f"{t.name}@{t.clock:.6f}:{t.block_reason}" for t in blocked)
+                raise EngineDeadlock(
+                    f"all simulated threads blocked with no pending events: {detail}")
+
+            self.horizon = max(self.horizon, next_thread.clock)
+            self._back.clear()
+            next_thread.state = _RUNNING
+            next_thread._go.set()
+            self._back.wait()
+
+    def _abort(self) -> None:
+        """Unwind all live simulated threads after a failure."""
+        self._aborting = True
+        for th in self._threads:
+            if th.state not in (_DONE, _NEW):
+                self._back.clear()
+                th._go.set()
+                self._back.wait()
+        for th in self._threads:
+            if th._host.is_alive():
+                th._host.join(timeout=5.0)

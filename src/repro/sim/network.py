@@ -1,0 +1,177 @@
+"""FDDI ring model with UDP and TCP transport channels.
+
+The physical layer is a single shared medium: while one frame occupies the
+ring no other frame may start, so under load transmissions serialize and the
+network saturates (the paper observes exactly this for Barnes-Hut under PVM
+at 8 processors).  On top of the ring sit two transports:
+
+* :class:`UdpChannel` -- datagrams with fragmentation at the TreadMarks MTU.
+  Statistics count *datagrams* and *payload plus protocol headers*, matching
+  how the paper accounts TreadMarks traffic.
+* :class:`TcpChannel` -- reliable streams between process pairs.  Statistics
+  count *user-level messages* and *user data bytes*, matching how the paper
+  accounts PVM traffic (TCP/IP framing still occupies the wire, it is just
+  not charged to the user-data column).
+
+Delivery is asynchronous: the channel posts an engine event at the arrival
+virtual time, which hands a :class:`Delivery` record to the destination
+processor's registered handler for the message category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import Engine
+from repro.sim.stats import MessageStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster
+
+__all__ = ["Delivery", "Link", "Network", "TcpChannel", "UdpChannel"]
+
+
+@dataclass
+class Delivery:
+    """One message as seen by the destination processor."""
+
+    src: int
+    dst: int
+    category: str
+    payload: Any
+    #: Bytes of user/application data carried (excludes protocol headers).
+    user_bytes: int
+    #: Virtual time the last fragment arrived at the destination NIC.
+    arrival: float
+    #: CPU time the destination must spend to receive (all fragments).
+    recv_cpu: float
+
+
+class Link:
+    """The shared FDDI ring: serializes frame transmissions."""
+
+    def __init__(self, cost: CostModel) -> None:
+        self._cost = cost
+        self.busy_until = 0.0
+        #: Total time the medium has been occupied (for utilization reports).
+        self.occupied = 0.0
+
+    def transmit(self, ready: float, frame_bytes: int) -> float:
+        """Put one frame on the ring; returns its arrival time."""
+        occupy = self._cost.wire_time(frame_bytes)
+        if self._cost.shared_medium:
+            start = max(ready, self.busy_until)
+            self.busy_until = start + occupy
+        else:
+            start = ready
+        self.occupied += occupy
+        return start + self._cost.wire_latency + occupy
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which the ring carried a frame."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.occupied / elapsed)
+
+
+class Network:
+    """The ring plus delivery plumbing shared by both transports."""
+
+    def __init__(self, engine: Engine, cost: CostModel, stats: MessageStats) -> None:
+        self.engine = engine
+        self.cost = cost
+        self.stats = stats
+        self.link = Link(cost)
+        self._deliver: Optional[Callable[[Delivery], None]] = None
+        # FIFO guarantee per (src, dst): arrivals never go backwards.
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+
+    def attach(self, deliver: Callable[[Delivery], None]) -> None:
+        """Install the cluster's delivery dispatcher."""
+        self._deliver = deliver
+
+    def _post_delivery(self, delivery: Delivery) -> None:
+        if self._deliver is None:
+            raise RuntimeError("network not attached to a cluster")
+        pair = (delivery.src, delivery.dst)
+        floor = self._last_arrival.get(pair, 0.0)
+        if delivery.arrival < floor:
+            delivery.arrival = floor
+        self._last_arrival[pair] = delivery.arrival
+        deliver = self._deliver
+        self.engine.post(delivery.arrival, lambda: deliver(delivery))
+
+
+class UdpChannel:
+    """Datagram transport used by the TreadMarks runtime."""
+
+    def __init__(self, net: Network, system: str = "tmk") -> None:
+        self.net = net
+        self.system = system
+
+    def send(self, src: int, dst: int, category: str, payload: Any,
+             nbytes: int, *, t_ready: float) -> float:
+        """Transmit ``nbytes`` of payload as one or more datagrams.
+
+        Returns the virtual time at which the *sender's CPU* is free again;
+        the caller is responsible for charging that time to the sender.
+        Delivery is posted for the arrival of the last fragment.
+        """
+        cost = self.net.cost
+        remaining = max(nbytes, 0)
+        fragments = cost.udp_fragments(nbytes)
+        t = t_ready
+        last_arrival = 0.0
+        for _ in range(fragments):
+            chunk = min(remaining, cost.udp_mtu) if remaining else 0
+            remaining -= chunk
+            t += cost.udp_send_cpu + cost.copy_cost(chunk)
+            arrival = self.net.link.transmit(t, chunk + cost.udp_header_bytes)
+            last_arrival = max(last_arrival, arrival)
+        wire_bytes = nbytes + fragments * cost.udp_header_bytes
+        self.net.stats.record(self.system, category,
+                              messages=fragments, nbytes=wire_bytes,
+                              src=src, dst=dst)
+        self.net._post_delivery(Delivery(
+            src=src, dst=dst, category=category, payload=payload,
+            user_bytes=nbytes, arrival=last_arrival,
+            recv_cpu=fragments * cost.udp_recv_cpu + cost.copy_cost(nbytes)))
+        return t
+
+
+class TcpChannel:
+    """Stream transport used by the PVM runtime (direct connections)."""
+
+    def __init__(self, net: Network, system: str = "pvm") -> None:
+        self.net = net
+        self.system = system
+
+    def send(self, src: int, dst: int, category: str, payload: Any,
+             nbytes: int, *, t_ready: float) -> float:
+        """Transmit one user-level message of ``nbytes`` user data.
+
+        Counts a single user message regardless of size (the paper's PVM
+        accounting); the wire still carries it as MTU-sized segments subject
+        to ring contention.  Returns sender-CPU-free time.
+        """
+        cost = self.net.cost
+        remaining = max(nbytes, 0)
+        segments = max(1, -(-remaining // cost.tcp_segment))
+        t = t_ready + cost.tcp_send_cpu
+        per_byte = cost.copy_byte_cpu + cost.tcp_byte_cpu
+        last_arrival = 0.0
+        for _ in range(segments):
+            chunk = min(remaining, cost.tcp_segment) if remaining else 0
+            remaining -= chunk
+            t += chunk * per_byte
+            arrival = self.net.link.transmit(t, chunk + cost.tcp_header_bytes)
+            last_arrival = max(last_arrival, arrival)
+        self.net.stats.record(self.system, category,
+                              messages=1, nbytes=nbytes, src=src, dst=dst)
+        self.net._post_delivery(Delivery(
+            src=src, dst=dst, category=category, payload=payload,
+            user_bytes=nbytes, arrival=last_arrival,
+            recv_cpu=cost.tcp_recv_cpu + nbytes * per_byte))
+        return t

@@ -1,0 +1,44 @@
+"""Optional protocol event tracing.
+
+A :class:`Trace` collects ``(virtual time, processor, kind, detail)`` tuples
+from the runtime layers.  It is disabled by default (zero overhead beyond a
+boolean test) and is used by the ``protocol_trace`` example and by tests
+that assert protocol-level behaviour (e.g. "a lock release sends no
+messages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+__all__ = ["Trace", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    pid: int
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time * 1e3:10.3f} ms] P{self.pid} {self.kind:<14} {self.detail}"
+
+
+@dataclass
+class Trace:
+    enabled: bool = False
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, time: float, pid: int, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, pid, kind, detail))
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def format(self, limit: int | None = None) -> str:
+        events: Iterable[TraceEvent] = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)

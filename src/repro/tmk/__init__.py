@@ -1,0 +1,38 @@
+"""TreadMarks-style software distributed shared memory.
+
+The paper's DSM under study: a page-based, user-level DSM implementing
+
+* **lazy release consistency** (Keleher et al.): consistency information
+  propagates only at acquires, as *write notices* over vector-timestamped
+  *intervals*;
+* an **invalidate protocol**: write notices invalidate local page copies;
+  the first access to an invalidated page faults and fetches *diffs* from
+  the writers;
+* a **multiple-writer protocol**: concurrent writers each modify their own
+  copy of a page; modifications are captured as diffs against a *twin*
+  (a pristine copy made at the first write) and merged on demand;
+* **locks** with statically-assigned managers and request forwarding (a
+  release sends no messages), and **barriers** with a centralized manager
+  (2(n-1) messages per episode).
+
+Accounting matches the paper: UDP datagrams (after MTU fragmentation) and
+total bytes including protocol headers.
+"""
+
+from repro.tmk.api import Tmk, TmkConfig, attach_tmk
+from repro.tmk.diffs import Diff, make_diff
+from repro.tmk.intervals import IntervalId, IntervalRecord, covers, vc_max
+from repro.tmk.sharedmem import SharedArray
+
+__all__ = [
+    "Diff",
+    "IntervalId",
+    "IntervalRecord",
+    "SharedArray",
+    "Tmk",
+    "TmkConfig",
+    "attach_tmk",
+    "covers",
+    "make_diff",
+    "vc_max",
+]

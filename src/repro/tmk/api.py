@@ -1,0 +1,166 @@
+"""The TreadMarks application programming interface.
+
+Mirrors the paper's description of the TreadMarks primitives:
+
+* ``Tmk_barrier(i)`` -> :meth:`Tmk.barrier`
+* ``Tmk_lock_acquire(i)`` / ``Tmk_lock_release(i)`` ->
+  :meth:`Tmk.lock_acquire` / :meth:`Tmk.lock_release`
+* ``Tmk_malloc`` -> :meth:`Tmk.malloc` plus the named-array convenience
+  :meth:`Tmk.shared_array` (the analogue of malloc at the master followed
+  by ``Tmk_distribute`` of the pointer)
+
+"With TreadMarks it is imperative to use explicit synchronization, as data
+is moved from processor to processor only in response to synchronization
+calls."  Shared data is accessed through :class:`SharedArray` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tmk.barrier import BarrierSubsystem
+from repro.tmk.consistency import LrcCore
+from repro.tmk.locks import LockSubsystem
+from repro.tmk.sharedmem import SharedArray, SharedHeap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster, Processor
+
+__all__ = ["Tmk", "TmkConfig", "TmkSystem", "attach_tmk"]
+
+
+@dataclass(frozen=True)
+class TmkConfig:
+    """Cluster-wide DSM configuration (protocol knobs for ablations)."""
+
+    #: Size of the shared segment each processor mirrors.
+    segment_bytes: int = 1 << 23
+    #: Which processor manages barrier episodes (TreadMarks: processor 0).
+    barrier_manager: int = 0
+    #: Ablation: compose accumulated diffs into one before shipping (the
+    #: paper's proposed remedy for diff accumulation on migratory data).
+    coalesce_diffs: bool = False
+    #: Future-work ablation from the paper's conclusion ("data movement
+    #: can be piggybacked on the synchronization messages"): lock grants
+    #: carry, up to this byte budget, the diffs for the pages they are
+    #: about to invalidate, saving the fault round trips that follow.
+    #: 0 disables piggybacking (the paper's TreadMarks).
+    piggyback_budget: int = 0
+    #: Notice propagation: "lazy" (TreadMarks LRC -- consistency data
+    #: moves only on acquire) or "eager" (Munin-style ERC -- every
+    #: release/barrier arrival broadcasts its write notices immediately).
+    protocol: str = "lazy"
+    #: Garbage-collect diffs and interval records every this many barrier
+    #: episodes (0 = never, like this TreadMarks version; real TreadMarks
+    #: collects when memory runs low).  Collection forces every processor
+    #: to validate its invalid pages first, as in real TreadMarks.
+    gc_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in ("lazy", "eager"):
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.piggyback_budget < 0 or self.gc_every < 0:
+            raise ValueError("piggyback_budget/gc_every must be >= 0")
+
+
+class TmkSystem:
+    """Cluster-global TreadMarks state: heap layout and manager maps."""
+
+    def __init__(self, cluster: "Cluster", config: TmkConfig) -> None:
+        if config.segment_bytes % cluster.cost.page_size:
+            raise ValueError("segment size must be a multiple of the page size")
+        self.cluster = cluster
+        self.config = config
+        self.heap = SharedHeap(config.segment_bytes, cluster.cost.page_size)
+        self.barrier_manager = config.barrier_manager
+
+    def lock_manager(self, lock: int) -> int:
+        """Static lock-manager assignment (lock id modulo processors)."""
+        return lock % self.cluster.nprocs
+
+
+class Tmk:
+    """Per-processor TreadMarks endpoint (``proc.tmk``)."""
+
+    def __init__(self, proc: "Processor", system: TmkSystem) -> None:
+        self.proc = proc
+        self.system = system
+        self.core = LrcCore(proc, system)
+        self.locks = LockSubsystem(proc, self.core, system)
+        self.barriers = BarrierSubsystem(proc, self.core, system)
+        self._arrays: Dict[str, SharedArray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    @property
+    def nprocs(self) -> int:
+        return self.proc.cluster.nprocs
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def barrier(self, bid: int) -> None:
+        """Stall until every processor reaches barrier ``bid``."""
+        self.barriers.barrier(bid)
+
+    def lock_acquire(self, lock: int) -> None:
+        self.locks.acquire(lock)
+
+    def lock_release(self, lock: int) -> None:
+        self.locks.release(lock)
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, align: int | None = None) -> int:
+        """Raw shared allocation; returns the segment address."""
+        return self.system.heap.malloc(nbytes, align)
+
+    def array_at(self, addr: int, shape: Tuple[int, ...],
+                 dtype) -> SharedArray:
+        """A typed shared window over an existing allocation."""
+        return SharedArray(self, addr, shape, np.dtype(dtype))
+
+    def shared_array(self, name: str, shape: Tuple[int, ...], dtype,
+                     align: int | None = None) -> SharedArray:
+        """Named idempotent allocation: every processor calling with the
+        same name receives a window onto the same shared bytes."""
+        arr = self._arrays.get(name)
+        if arr is None:
+            addr = self.system.heap.named(name, tuple(shape), np.dtype(dtype),
+                                          align)
+            arr = SharedArray(self, addr, tuple(shape), np.dtype(dtype))
+            self._arrays[name] = arr
+        return arr
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def fault_count(self) -> int:
+        return self.core.fault_count
+
+    @property
+    def lock_wait_time(self) -> float:
+        return self.locks.wait_time
+
+    @property
+    def barrier_wait_time(self) -> float:
+        return self.barriers.wait_time
+
+
+def attach_tmk(cluster: "Cluster",
+               config: Optional[TmkConfig] = None) -> List[Tmk]:
+    """Create one :class:`Tmk` endpoint per processor (sets ``proc.tmk``)."""
+    system = TmkSystem(cluster, config if config is not None else TmkConfig())
+    endpoints = []
+    for proc in cluster.procs:
+        proc.tmk = Tmk(proc, system)
+        endpoints.append(proc.tmk)
+    return endpoints

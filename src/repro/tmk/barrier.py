@@ -1,0 +1,213 @@
+"""TreadMarks barriers: centralized manager, 2(n-1) messages per episode.
+
+"Tmk_barrier(i) is modeled as a release followed by an acquire: each
+processor performs a release at barrier arrival and an acquire at barrier
+departure."  Arrivals carry the client's vector time plus the interval
+records the manager has not seen (as estimated from the vector time the
+manager distributed at the previous departure); departures carry the merged
+global knowledge back.
+
+The manager (processor 0, as in TreadMarks) merges all arrivals only after
+its own interval is closed -- processing write notices requires an empty
+dirty set -- and dispatches every departure at the time the last arrival
+landed, plus service cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sim.network import Delivery
+from repro.tmk.protocol import (CAT_BARRIER_ARRIVAL, CAT_BARRIER_DEPARTURE,
+                                BarrierArrival, BarrierDeparture)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Processor
+    from repro.tmk.api import TmkSystem
+    from repro.tmk.consistency import LrcCore
+
+__all__ = ["BarrierSubsystem"]
+
+#: CPU cost of the local bookkeeping at a barrier (no-communication part).
+_LOCAL_BARRIER_CPU = 10e-6
+
+
+@dataclass
+class _Episode:
+    """Manager-side state for one barrier episode."""
+
+    arrivals: List[Tuple[BarrierArrival, float]] = field(default_factory=list)
+    #: Set once the manager's own thread has arrived (and blocked).
+    manager_arrived: bool = False
+    manager_wake: Optional[object] = None  # the manager's Processor, when blocked
+
+
+class BarrierSubsystem:
+    """Per-processor barrier logic."""
+
+    def __init__(self, proc: "Processor", core: "LrcCore",
+                 system: "TmkSystem") -> None:
+        self.proc = proc
+        self.core = core
+        self.system = system
+        self.pid = proc.pid
+        self.cost = proc.cluster.cost
+        self.nprocs = proc.cluster.nprocs
+        self.manager = system.barrier_manager
+        #: The manager's vector time as of the last departure -- the
+        #: client's estimate of what the manager already knows.
+        self._last_barrier_vc: Tuple[int, ...] = (0,) * self.nprocs
+        self._episodes: Dict[int, _Episode] = {}
+        #: Mailbox-like slot for the client's departure.
+        self._departure: Optional[BarrierDeparture] = None
+        self._departure_wake: float = 0.0
+        self._waiting = False
+        #: Diagnostics.
+        self.episodes_completed = 0
+        self.wait_time = 0.0
+        self.gc_runs = 0
+        #: Manager-side GC state machine (TmkConfig.gc_every).
+        self._gc_every = system.config.gc_every
+        self._episode_count = 0
+        self._gc_floor_next: Optional[Tuple[int, ...]] = None
+        #: Client-side instructions from the last departure.
+        self._post_departure: Tuple[bool, Optional[Tuple[int, ...]]] = (False, None)
+        proc.register(CAT_BARRIER_ARRIVAL, self._on_arrival)
+        proc.register(CAT_BARRIER_DEPARTURE, self._on_departure)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def barrier(self, bid: int) -> None:
+        proc = self.proc
+        proc.yield_point()
+        self.core.close_interval()
+        proc.compute(_LOCAL_BARRIER_CPU)
+        t_arrive = proc.now
+        if self.nprocs == 1:
+            self.episodes_completed += 1
+            return
+        if self.pid == self.manager:
+            self._manager_arrive(bid, t_arrive)
+        else:
+            self._client_arrive(bid, t_arrive)
+        self.wait_time += proc.now - t_arrive
+        self.episodes_completed += 1
+        self._run_post_departure()
+
+    def _run_post_departure(self) -> None:
+        """Execute any GC instruction the departure carried."""
+        validate, floor = self._post_departure
+        self._post_departure = (False, None)
+        if validate:
+            self.core.validate_all_pending()
+            self.gc_runs += 1
+        if floor is not None:
+            self.core.drop_below(floor)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def _client_arrive(self, bid: int, t_arrive: float) -> None:
+        proc = self.proc
+        records = self.core.records_since(self._last_barrier_vc)
+        arrival = BarrierArrival(barrier=bid, pid=self.pid,
+                                 vc=tuple(self.core.vc), records=records)
+        t_free = self.core.udp.send(
+            self.pid, self.manager, CAT_BARRIER_ARRIVAL, arrival,
+            arrival.nbytes(self.cost, self.nprocs), t_ready=proc.now)
+        proc.set_now(t_free)
+        self._waiting = True
+        proc.block(f"barrier {bid}")
+        self._waiting = False
+        departure = self._departure
+        self._departure = None
+        if departure is None:
+            raise AssertionError(f"P{self.pid}: woke from barrier {bid} "
+                                 "without a departure message")
+        if self._departure_wake > proc.now:
+            proc.set_now(self._departure_wake)
+        self.core.merge(departure.records, departure.vc)
+        self._last_barrier_vc = departure.vc
+        self._post_departure = (departure.validate_all, departure.drop_below)
+        proc.trace("barrier_depart", f"bid={bid}")
+
+    def _on_departure(self, delivery: Delivery) -> None:
+        self._departure = delivery.payload
+        self._departure_wake = delivery.arrival + delivery.recv_cpu
+        if not self._waiting:
+            raise AssertionError(
+                f"P{self.pid}: barrier departure arrived while not waiting")
+        self.proc.unblock(delivery.arrival + delivery.recv_cpu)
+
+    # ------------------------------------------------------------------
+    # Manager side
+    # ------------------------------------------------------------------
+    def _episode(self, bid: int) -> _Episode:
+        return self._episodes.setdefault(bid, _Episode())
+
+    def _manager_arrive(self, bid: int, t_arrive: float) -> None:
+        proc = self.proc
+        episode = self._episode(bid)
+        episode.manager_arrived = True
+        if len(episode.arrivals) == self.nprocs - 1:
+            # Everyone else already arrived; we are last.
+            t_release = max([t_arrive] +
+                            [t for _, t in episode.arrivals])
+            t_done = self._release_all(bid, episode, t_release)
+            proc.set_now(t_done)
+        else:
+            self._waiting = True
+            proc.block(f"barrier {bid} (manager)")
+            self._waiting = False
+        self._last_barrier_vc = tuple(self.core.vc)
+        proc.trace("barrier_release", f"bid={bid}")
+
+    def _on_arrival(self, delivery: Delivery) -> None:
+        arrival: BarrierArrival = delivery.payload
+        service = delivery.recv_cpu + self.cost.interrupt_cpu
+        self.proc.charge_service(service)
+        episode = self._episode(arrival.barrier)
+        episode.arrivals.append((arrival, delivery.arrival + service))
+        if (episode.manager_arrived
+                and len(episode.arrivals) == self.nprocs - 1):
+            # The manager thread is blocked; release everyone from here.
+            t_release = max(t for _, t in episode.arrivals)
+            t_done = self._release_all(arrival.barrier, episode, t_release)
+            self.proc.unblock(t_done)
+
+    def _release_all(self, bid: int, episode: _Episode,
+                     t_release: float) -> float:
+        """Merge all arrivals and dispatch departures; returns the time the
+        manager's own CPU is free."""
+        arrivals = sorted(episode.arrivals, key=lambda a: a[0].pid)
+        for arrival, _ in arrivals:
+            self.core.merge(arrival.records, arrival.vc)
+        # Garbage-collection state machine: phase 1 (validate) every
+        # gc_every-th episode; phase 2 (drop) on the following one, once
+        # every processor has validated.
+        validate_all = False
+        drop = self._gc_floor_next
+        self._gc_floor_next = None
+        self._episode_count += 1
+        if self._gc_every and self._episode_count % self._gc_every == 0:
+            validate_all = True
+            floor = list(self.core.vc)
+            for arrival, _ in arrivals:
+                floor = [min(a, b) for a, b in zip(floor, arrival.vc)]
+            self._gc_floor_next = tuple(floor)
+        t = t_release
+        for arrival, _ in arrivals:
+            records = self.core.records_since(arrival.vc)
+            departure = BarrierDeparture(barrier=bid, vc=tuple(self.core.vc),
+                                         records=records,
+                                         validate_all=validate_all,
+                                         drop_below=drop)
+            t = self.core.udp.send(
+                self.pid, arrival.pid, CAT_BARRIER_DEPARTURE, departure,
+                departure.nbytes(self.cost, self.nprocs), t_ready=t)
+        # The manager follows the same instructions locally.
+        self._post_departure = (validate_all, drop)
+        del self._episodes[bid]
+        return t

@@ -1,0 +1,430 @@
+"""The lazy release consistency (LRC) core.
+
+One :class:`LrcCore` per processor.  It owns:
+
+* the processor's paged copy of the shared segment (:class:`PageTable`);
+* its vector time and the set of interval records it knows about;
+* *pending write notices*: for each invalidated page, the intervals whose
+  diffs have not yet been fetched;
+* the *diff cache*: every diff this processor created or received.  The
+  protocol invariant -- "if a processor has modified a page during an
+  interval then it must have all the diffs of all intervals that precede
+  it" -- holds because a write to an invalidated page first faults and
+  fetches all pending diffs.
+
+Consistency information moves only at synchronization (lock grant, barrier
+departure) as batches of :class:`IntervalRecord`; data moves only on demand
+(page fault -> diff request/response), exactly the separation the paper
+identifies as the root of TreadMarks' extra messages.
+
+Substitution note (see DESIGN.md): diffs are *created eagerly* when an
+interval closes and *fetched lazily* on fault.  Message counts and byte
+volumes match the lazy-invalidate protocol; eager creation pins diff
+contents at the causally-correct point, which is necessary because
+simulated processors can run ahead of one another in virtual time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.sim.network import Delivery, UdpChannel
+from repro.tmk.diffs import Diff, coalesce, make_diff
+from repro.tmk.intervals import (IntervalId, IntervalRecord, dominant_writers,
+                                 vc_max)
+from repro.tmk.pages import PageTable
+from repro.tmk.protocol import (CAT_DIFF_REQUEST, CAT_DIFF_RESPONSE,
+                                CAT_ERC_NOTICE, DiffRequest, DiffResponse,
+                                ErcNotice)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Processor
+    from repro.tmk.api import TmkSystem
+
+__all__ = ["LrcCore"]
+
+
+class LrcCore:
+    """Per-processor LRC state machine and diff server."""
+
+    def __init__(self, proc: "Processor", system: "TmkSystem") -> None:
+        self.proc = proc
+        self.system = system
+        self.pid = proc.pid
+        self.nprocs = proc.cluster.nprocs
+        self.cost = proc.cluster.cost
+        self.pt = PageTable(system.config.segment_bytes, self.cost.page_size)
+        self.udp = UdpChannel(proc.cluster.net, system="tmk")
+
+        #: Vector time: ``vc[p]`` = number of closed intervals of p this
+        #: processor has seen (own entry: number of own closed intervals).
+        self.vc: List[int] = [0] * self.nprocs
+        self.known: Dict[IntervalId, IntervalRecord] = {}
+        #: Per-creator records in seq order (for records_since).
+        self._by_creator: List[List[IntervalRecord]] = [[] for _ in range(self.nprocs)]
+        #: page -> {interval id -> record} awaiting a diff fetch.
+        self.pending: Dict[int, Dict[IntervalId, IntervalRecord]] = {}
+        #: (interval id, page) -> diff, never evicted (TreadMarks GC elided).
+        self.diff_cache: Dict[Tuple[IntervalId, int], Diff] = {}
+        #: Locally-created diffs whose creation CPU has not been charged
+        #: yet (charged at first service, mirroring lazy diff creation).
+        self._uncharged: set = set()
+
+        # Diagnostics the tests and benchmark prose reports rely on.
+        self.fault_count = 0
+        self.diffs_applied = 0
+        self.diff_bytes_applied = 0
+        self.fault_wait_time = 0.0
+        #: Faults avoided because a grant piggybacked the needed diffs.
+        self.piggyback_hits = 0
+
+        self.eager = system.config.protocol == "eager"
+        proc.register(CAT_DIFF_REQUEST, self._on_diff_request)
+        proc.register(CAT_DIFF_RESPONSE, self._on_diff_response)
+        if self.eager:
+            proc.register(CAT_ERC_NOTICE, self._on_erc_notice)
+
+    # ------------------------------------------------------------------
+    # Interval management
+    # ------------------------------------------------------------------
+    def close_interval(self) -> Optional[IntervalRecord]:
+        """Close the current interval if it performed any writes.
+
+        Creates the interval's diffs (against the twins), records its write
+        notices, and advances this processor's vector-time entry.  Called at
+        lock acquire, lock release, and barrier arrival.
+        """
+        dirty = self.pt.dirty_pages()
+        if not dirty:
+            return None
+        seq = self.vc[self.pid]
+        for page in dirty:
+            diff = make_diff(page, self.pt.page_view(page), self.pt.twin(page))
+            self.pt.drop_twin(page)
+            self.diff_cache[((self.pid, seq), page)] = diff
+            # CPU accounting is deferred to first service: real TreadMarks
+            # creates a diff lazily, when it is first requested, so pages
+            # whose diffs nobody fetches cost no diffing time.  (The diff
+            # *contents* are pinned here; see the eager-creation note in
+            # the module docstring.)
+            self._uncharged.add(((self.pid, seq), page))
+        record = IntervalRecord(creator=self.pid, seq=seq,
+                                vc=tuple(self.vc), pages=tuple(dirty))
+        self.known[record.id] = record
+        self._by_creator[self.pid].append(record)
+        self.vc[self.pid] = seq + 1
+        self.proc.trace("interval_close", f"seq={seq} pages={list(dirty)}")
+        if self.eager:
+            self._broadcast_notice(record)
+        return record
+
+    def _broadcast_notice(self, record: IntervalRecord) -> None:
+        """Eager RC: push this interval's write notices to everyone now
+        (Munin-style), instead of waiting for the next acquire."""
+        notice = ErcNotice(record=record, creator_count=self.vc[self.pid])
+        proc = self.proc
+        for peer in range(self.nprocs):
+            if peer == self.pid:
+                continue
+            t_free = self.udp.send(self.pid, peer, CAT_ERC_NOTICE, notice,
+                                   notice.nbytes(self.cost, self.nprocs),
+                                   t_ready=proc.now)
+            proc.set_now(t_free)
+
+    def _on_erc_notice(self, delivery: Delivery) -> None:
+        notice: ErcNotice = delivery.payload
+        record = notice.record
+        service = delivery.recv_cpu + self.cost.interrupt_cpu
+        self.proc.charge_service(service)
+        if record.id in self.known:
+            return
+        self.known[record.id] = record
+        creator_list = self._by_creator[record.creator]
+        if creator_list and record.seq <= creator_list[-1].seq:
+            raise AssertionError(
+                f"P{self.pid}: out-of-order eager notice {record.id}")
+        creator_list.append(record)
+        for page in record.pages:
+            if self.pt.is_valid(page):
+                self.pt.invalidate(page, allow_dirty=True)
+            self.pending.setdefault(page, {})[record.id] = record
+        # Only the sender's own entry advances: per-pair FIFO guarantees
+        # we hold all of its earlier records; third-party knowledge still
+        # flows through synchronization.
+        if notice.creator_count > self.vc[record.creator]:
+            self.vc[record.creator] = notice.creator_count
+
+    def records_since(self, their_vc: Tuple[int, ...]) -> List[IntervalRecord]:
+        """All known records the holder of ``their_vc`` has not seen."""
+        out: List[IntervalRecord] = []
+        for creator in range(self.nprocs):
+            records = self._by_creator[creator]
+            if not records:
+                continue
+            # Records are stored in seq order; find the first unseen one.
+            seqs = [r.seq for r in records]
+            start = bisect.bisect_left(seqs, their_vc[creator])
+            out.extend(records[start:])
+        return out
+
+    def merge(self, records: List[IntervalRecord],
+              their_vc: Tuple[int, ...],
+              piggybacked: Optional[Dict] = None) -> None:
+        """Incorporate write notices received at an acquire.
+
+        Invalidates locally-cached pages named by unseen records and updates
+        the vector time.  Must run with an empty dirty set (the caller
+        closes its interval before any acquire), which the page table
+        asserts -- except under eager RC, where asynchronous notices may
+        already have invalidated pages mid-interval.
+
+        ``piggybacked`` is the optional ``{(interval id, page): diff}``
+        data a lock grant carried (the paper's future-work optimization);
+        pages whose entire pending set it satisfies are patched and
+        revalidated on the spot, saving the later fault round trip.
+        """
+        touched_pages = set()
+        for record in sorted(records, key=lambda r: r.seq):
+            if record.id in self.known:
+                continue
+            self.known[record.id] = record
+            creator_list = self._by_creator[record.creator]
+            if creator_list and record.seq <= creator_list[-1].seq:
+                raise AssertionError(
+                    f"P{self.pid}: out-of-order interval record {record.id}")
+            creator_list.append(record)
+            if record.creator == self.pid:
+                continue
+            for page in record.pages:
+                if self.pt.is_valid(page):
+                    self.pt.invalidate(page, allow_dirty=self.eager)
+                self.pending.setdefault(page, {})[record.id] = record
+                touched_pages.add(page)
+        self.vc = list(vc_max(self.vc, their_vc))
+        if piggybacked:
+            self._apply_piggybacked(touched_pages, piggybacked)
+
+    def _apply_piggybacked(self, pages: set, piggybacked: Dict) -> None:
+        """Patch and revalidate pages fully satisfied by grant data."""
+        by_page: Dict[int, Dict] = {}
+        for (iid, page), diff in piggybacked.items():
+            by_page.setdefault(page, {})[iid] = diff
+        for page in sorted(pages):
+            needed = self.pending.get(page)
+            if not needed:
+                continue
+            available = by_page.get(page, {})
+            if not set(needed).issubset(available):
+                continue  # some writer's diff missing: fault later
+            view = self.pt.page_view(page)
+            cpu = 0.0
+            for iid in sorted(needed,
+                              key=lambda i: (needed[i].vc, i[0])):
+                diff = available[iid]
+                diff.apply(view)
+                if self.pt.has_twin(page):
+                    diff.apply(self.pt.twin(page))
+                self.diff_cache[(iid, page)] = diff
+                self.diffs_applied += 1
+                self.diff_bytes_applied += diff.data_bytes
+                cpu += (self.cost.diff_apply_cpu
+                        + diff.data_bytes * self.cost.diff_apply_byte_cpu)
+            self.proc.compute(cpu)
+            del self.pending[page]
+            self.pt.validate(page)
+            self.piggyback_hits += 1
+            self.proc.trace("piggyback_apply", f"page={page}")
+
+    # ------------------------------------------------------------------
+    # Access faults
+    # ------------------------------------------------------------------
+    def ensure_valid_runs(self, runs) -> None:
+        """Validate every page the access touches (LRC pages are never
+        stolen, so run-by-run handling is race-free)."""
+        for start, nbytes in runs:
+            self.ensure_valid_range(start, nbytes)
+
+    def ensure_writable_runs(self, runs) -> None:
+        for start, nbytes in runs:
+            self.ensure_writable_range(start, nbytes)
+
+    def ensure_valid_range(self, start: int, nbytes: int) -> None:
+        for page in self.pt.pages_for_range(start, nbytes):
+            if not self.pt.is_valid(page):
+                self._fault(page)
+
+    def ensure_writable_range(self, start: int, nbytes: int) -> None:
+        """Validate and twin every page in the range before a write."""
+        for page in self.pt.pages_for_range(start, nbytes):
+            if not self.pt.is_valid(page):
+                self._fault(page)
+            if not self.pt.has_twin(page):
+                self.pt.make_twin(page)
+                self.proc.compute(self.cost.twin_cpu)
+
+    def _fault(self, page: int) -> None:
+        """Bring an invalidated page up to date by fetching missing diffs.
+
+        Under eager RC, new notices for this page can arrive *while the
+        fault is waiting* for responses; the fetch loops until no pending
+        notices remain, so the page is never validated with orphaned
+        notices (which would leave it stale forever).
+        """
+        proc = self.proc
+        proc.yield_point()
+        if not self.pending.get(page):
+            raise AssertionError(
+                f"P{self.pid}: page {page} invalid with no pending notices")
+        self.fault_count += 1
+        proc.compute(self.cost.fault_cpu)
+        t_fault_start = proc.now
+        while self.pending.get(page):
+            self._fetch_round(page)
+        self.pt.validate(page)
+        self.fault_wait_time += proc.now - t_fault_start
+
+    def _fetch_round(self, page: int) -> None:
+        """One request/response/apply round for a page's pending notices."""
+        proc = self.proc
+        needed = self.pending.pop(page)
+        proc.trace("page_fault", f"page={page} intervals={sorted(needed)}")
+
+        if self.eager:
+            # The dominant-writer reduction relies on "saw the notice
+            # before closing => fetched the diff", which eager delivery
+            # breaks (a notice can land mid-interval, after the page was
+            # written).  Ask each interval's creator directly -- creators
+            # always hold their own diffs.
+            assignment: Dict[int, List[IntervalId]] = {}
+            for iid in sorted(needed):
+                assignment.setdefault(iid[0], []).append(iid)
+        else:
+            assignment = dominant_writers(needed)
+        boxes = []
+        for writer in sorted(assignment):
+            wanted = assignment[writer]
+            box = proc.mailbox()
+            request = DiffRequest(page=page, wanted=wanted,
+                                  requester=self.pid, reply=box)
+            t_free = self.udp.send(self.pid, writer, CAT_DIFF_REQUEST,
+                                   request, request.nbytes(self.cost),
+                                   t_ready=proc.now)
+            proc.set_now(t_free)
+            boxes.append(box)
+
+        entries: Dict[IntervalId, Tuple[Tuple[int, ...], Diff]] = {}
+        satisfied = set()
+        for box in boxes:
+            response: DiffResponse = box.wait(f"diffs for page {page}")
+            for iid, ivc, diff in response.entries:
+                entries.setdefault(iid, (ivc, diff))
+                satisfied.add(iid)
+            if response.covers:
+                # Coalesced response: the single merged diff stands in for
+                # every covered interval (cache it under each id so this
+                # processor can serve them later).
+                merged = response.entries[0][2]
+                for iid in response.covers:
+                    satisfied.add(iid)
+                    self.diff_cache[(iid, page)] = merged
+
+        missing = set(needed) - satisfied
+        if missing:
+            raise AssertionError(
+                f"P{self.pid}: diff responses for page {page} missing "
+                f"intervals {sorted(missing)}")
+
+        view = self.pt.page_view(page)
+        has_twin = self.pt.has_twin(page)
+        cpu = 0.0
+        # Apply in an order consistent with happens-before.
+        for iid in sorted(entries,
+                          key=lambda i: (entries[i][0], i[0])):
+            ivc, diff = entries[iid]
+            diff.apply(view)
+            if has_twin:
+                # Eager RC can invalidate a dirty page; patching the twin
+                # too keeps the eventual local diff free of remote words.
+                diff.apply(self.pt.twin(page))
+            self.diff_cache[(iid, page)] = diff
+            self.diffs_applied += 1
+            self.diff_bytes_applied += diff.data_bytes
+            cpu += (self.cost.diff_apply_cpu
+                    + diff.data_bytes * self.cost.diff_apply_byte_cpu)
+        self.proc.compute(cpu)
+
+    # ------------------------------------------------------------------
+    # Garbage collection (TmkConfig.gc_every)
+    # ------------------------------------------------------------------
+    def validate_all_pending(self) -> int:
+        """Fault in every invalid page (GC phase 1: once everyone has done
+        this, diffs below the global minimum vector time are dead).
+        Returns the number of pages validated."""
+        pages = sorted(self.pending)
+        for page in pages:
+            if not self.pt.is_valid(page):
+                self._fault(page)
+        return len(pages)
+
+    def drop_below(self, floor: Tuple[int, ...]) -> int:
+        """GC phase 2: discard diffs and interval records every processor
+        has both seen and applied.  Returns the number of diffs dropped."""
+        dead = [key for key in self.diff_cache
+                if key[0][1] < floor[key[0][0]]]
+        for key in dead:
+            del self.diff_cache[key]
+            self._uncharged.discard(key)
+        for creator in range(self.nprocs):
+            kept = [r for r in self._by_creator[creator]
+                    if r.seq >= floor[creator]]
+            for record in self._by_creator[creator]:
+                if record.seq < floor[creator]:
+                    self.known.pop(record.id, None)
+            self._by_creator[creator] = kept
+        self.proc.trace("gc", f"dropped {len(dead)} diffs, floor={floor}")
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Diff server (interrupt-model handlers)
+    # ------------------------------------------------------------------
+    def _on_diff_request(self, delivery: Delivery) -> None:
+        request: DiffRequest = delivery.payload
+        entries: List[Tuple[IntervalId, Tuple[int, ...], Diff]] = []
+        create_cpu = 0.0
+        for iid in request.wanted:
+            diff = self.diff_cache.get((iid, request.page))
+            if diff is None:
+                raise AssertionError(
+                    f"P{self.pid}: asked for diff ({iid}, page "
+                    f"{request.page}) it does not hold")
+            if (iid, request.page) in self._uncharged:
+                self._uncharged.discard((iid, request.page))
+                create_cpu += (self.cost.diff_create_cpu
+                               + self.cost.page_size * self.cost.diff_scan_byte_cpu)
+            entries.append((iid, self.known[iid].vc, diff))
+        covers = None
+        if self.system.config.coalesce_diffs and len(entries) > 1:
+            # Ablation: compose accumulated diffs before shipping (the
+            # paper's proposed fix for diff accumulation on migratory
+            # data); the response declares which intervals it satisfies.
+            entries.sort(key=lambda e: (e[1], e[0][0]))
+            covers = [iid for iid, _, _ in entries]
+            merged = coalesce([diff for _, _, diff in entries])
+            entries = [entries[-1][:2] + (merged,)]
+        response = DiffResponse(page=request.page, entries=entries,
+                                covers=covers)
+
+        service = delivery.recv_cpu + self.cost.interrupt_cpu + create_cpu
+        t_ready = delivery.arrival + service
+        t_free = self.udp.send(self.pid, request.requester, CAT_DIFF_RESPONSE,
+                               (request.reply, response),
+                               response.nbytes(self.cost), t_ready=t_ready)
+        self.proc.charge_service(service + (t_free - t_ready))
+        self.proc.trace("diff_served",
+                        f"page={request.page} to=P{request.requester} "
+                        f"ndiffs={len(entries)}")
+
+    def _on_diff_response(self, delivery: Delivery) -> None:
+        box, response = delivery.payload
+        box.put(response, delivery.arrival + delivery.recv_cpu)

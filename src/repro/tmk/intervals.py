@@ -1,0 +1,117 @@
+"""Intervals, vector timestamps, and write notices.
+
+Each processor's execution is divided into *intervals*, a new one beginning
+at every synchronization operation.  Intervals are partially ordered by the
+happens-before-1 relation; vector timestamps represent the partial order.
+An interval that performed writes carries *write notices* -- the set of
+pages it modified -- which invalidate remote copies when they propagate on
+lock grants and barrier departures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "IntervalId",
+    "IntervalRecord",
+    "covers",
+    "dominant_writers",
+    "vc_max",
+]
+
+#: (creator processor, per-creator sequence number).
+IntervalId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One closed interval: who, when (vector time), and what it wrote."""
+
+    creator: int
+    seq: int
+    #: The creator's vector time at interval close; ``vc[creator] == seq``.
+    vc: Tuple[int, ...]
+    #: Pages written during the interval (the write notices).
+    pages: Tuple[int, ...]
+
+    @property
+    def id(self) -> IntervalId:
+        return (self.creator, self.seq)
+
+    def precedes(self, other: "IntervalRecord") -> bool:
+        """True if this interval happens-before ``other``.
+
+        ``vc[p]`` counts closed intervals of ``p`` seen, so a cross-creator
+        interval ``(c, s)`` is seen iff ``vc[c] > s``.
+        """
+        if self.creator == other.creator:
+            return self.seq < other.seq
+        return other.vc[self.creator] > self.seq
+
+    def sort_key(self) -> Tuple[Tuple[int, ...], int]:
+        """Total order consistent with happens-before (for diff application)."""
+        return (self.vc, self.creator)
+
+
+def vc_max(a: Iterable[int], b: Iterable[int]) -> Tuple[int, ...]:
+    """Component-wise maximum of two vector timestamps."""
+    return tuple(max(x, y) for x, y in zip(a, b))
+
+
+def covers(record: IntervalRecord, iid: IntervalId) -> bool:
+    """True if the creator of ``record`` is guaranteed to hold the diffs of
+    interval ``iid``.
+
+    A processor that closed interval ``record`` has seen (and therefore
+    possesses the diffs of) every interval within ``record.vc``; its own
+    intervals up to ``record.seq`` are trivially covered.
+    """
+    creator, seq = iid
+    if creator == record.creator:
+        return seq <= record.seq
+    return record.vc[creator] > seq
+
+
+def dominant_writers(
+        needed: Dict[IntervalId, IntervalRecord]) -> Dict[int, List[IntervalId]]:
+    """Choose which writers to ask for diffs, and for which intervals.
+
+    "It is usually unnecessary to send diff requests to all the processors
+    who have modified the page [...] TreadMarks sends diff requests to the
+    subset of processors for which their most recent interval is not
+    preceded by the most recent interval of another processor."
+
+    Returns ``{writer -> [interval ids to request from it]}`` such that every
+    needed interval is covered by exactly one chosen writer.  Deterministic:
+    ties broken by processor id.
+    """
+    if not needed:
+        return {}
+    # Latest needed interval per writer.
+    latest: Dict[int, IntervalRecord] = {}
+    for record in needed.values():
+        cur = latest.get(record.creator)
+        if cur is None or record.seq > cur.seq:
+            latest[record.creator] = record
+    # Drop writers whose latest interval precedes another writer's latest.
+    writers = sorted(latest)
+    chosen: List[int] = []
+    for w in writers:
+        dominated = any(
+            other != w and latest[w].precedes(latest[other])
+            for other in writers)
+        if not dominated:
+            chosen.append(w)
+    # Assign every needed interval to the lowest-numbered chosen writer that
+    # covers it.
+    assignment: Dict[int, List[IntervalId]] = {w: [] for w in chosen}
+    for iid in sorted(needed):
+        for w in chosen:
+            if covers(latest[w], iid):
+                assignment[w].append(iid)
+                break
+        else:  # pragma: no cover - protocol invariant
+            raise AssertionError(f"no chosen writer covers interval {iid}")
+    return {w: ids for w, ids in assignment.items() if ids}

@@ -1,0 +1,94 @@
+"""Per-processor paged view of the shared address space.
+
+Each processor holds a private copy of the whole shared segment plus
+per-page state:
+
+* ``valid`` -- the local copy may be read (an invalidated page must fault
+  and fetch diffs first);
+* ``twin`` -- pristine copy made at the first write of the current
+  interval; its presence marks the page *dirty* (write-noticed at the next
+  interval close).
+
+In real TreadMarks this state machine is driven by mprotect + SIGSEGV; here
+the :mod:`repro.tmk.sharedmem` accessors consult it in software.  The state
+transitions and their costs are identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    """Local memory plus page validity/twin bookkeeping for one processor."""
+
+    def __init__(self, size_bytes: int, page_size: int) -> None:
+        if size_bytes % page_size:
+            raise ValueError("segment size must be a multiple of the page size")
+        self.page_size = page_size
+        self.npages = size_bytes // page_size
+        #: The processor's private copy of the shared segment.
+        self.mem = np.zeros(size_bytes, dtype=np.uint8)
+        self._valid = np.ones(self.npages, dtype=bool)
+        self._twins: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def page_view(self, page: int) -> np.ndarray:
+        start = page * self.page_size
+        return self.mem[start: start + self.page_size]
+
+    def pages_for_range(self, start: int, nbytes: int) -> range:
+        """Pages overlapped by the byte range [start, start+nbytes)."""
+        if nbytes <= 0:
+            return range(0, 0)
+        first = start // self.page_size
+        last = (start + nbytes - 1) // self.page_size
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    def is_valid(self, page: int) -> bool:
+        return bool(self._valid[page])
+
+    def invalidate(self, page: int, allow_dirty: bool = False) -> None:
+        """Mark a page not-readable.
+
+        Under lazy RC, notices are only processed at synchronization
+        points, after the local interval closed -- a dirty page here is a
+        protocol bug.  Under eager RC, notices arrive asynchronously and
+        may hit a page mid-interval: the twin is kept, so local writes
+        survive the refetch (``allow_dirty=True``).
+        """
+        if page in self._twins and not allow_dirty:
+            raise AssertionError(
+                f"invalidating dirty page {page}: interval must close before "
+                "write notices are processed")
+        self._valid[page] = False
+
+    def validate(self, page: int) -> None:
+        self._valid[page] = True
+
+    # ------------------------------------------------------------------
+    def has_twin(self, page: int) -> bool:
+        return page in self._twins
+
+    def make_twin(self, page: int) -> None:
+        if page in self._twins:
+            raise AssertionError(f"twin already exists for page {page}")
+        self._twins[page] = self.page_view(page).copy()
+
+    def twin(self, page: int) -> np.ndarray:
+        return self._twins[page]
+
+    def dirty_pages(self) -> List[int]:
+        return sorted(self._twins)
+
+    def drop_twin(self, page: int) -> None:
+        del self._twins[page]
+
+    # ------------------------------------------------------------------
+    def invalid_pages(self) -> Set[int]:
+        return set(np.flatnonzero(~self._valid))

@@ -1,0 +1,166 @@
+"""TreadMarks wire-protocol message payloads and size accounting.
+
+Payload objects travel through the simulated UDP channel; their *accounted*
+sizes are computed from the cost model's protocol constants so Table 2's
+byte counts are meaningful.  Message categories (the stats buckets):
+
+* ``lock_request`` / ``lock_forward`` / ``lock_grant``
+* ``barrier_arrival`` / ``barrier_departure``
+* ``diff_request`` / ``diff_response``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.tmk.diffs import Diff
+from repro.tmk.intervals import IntervalId, IntervalRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Mailbox
+    from repro.sim.costmodel import CostModel
+
+__all__ = [
+    "BarrierArrival",
+    "BarrierDeparture",
+    "DiffRequest",
+    "DiffResponse",
+    "LockGrant",
+    "LockRequest",
+    "notice_bytes",
+]
+
+CAT_LOCK_REQUEST = "lock_request"
+CAT_LOCK_FORWARD = "lock_forward"
+CAT_LOCK_GRANT = "lock_grant"
+CAT_BARRIER_ARRIVAL = "barrier_arrival"
+CAT_BARRIER_DEPARTURE = "barrier_departure"
+CAT_DIFF_REQUEST = "diff_request"
+CAT_DIFF_RESPONSE = "diff_response"
+#: Eager-RC mode only: write notices broadcast at every release.
+CAT_ERC_NOTICE = "erc_notice"
+
+
+def notice_bytes(records: List[IntervalRecord], cost: "CostModel",
+                 nprocs: int) -> int:
+    """Accounted size of a batch of interval records (write notices)."""
+    total = 0
+    for record in records:
+        total += cost.vector_time_bytes * nprocs
+        total += cost.write_notice_bytes * len(record.pages)
+    return total
+
+
+@dataclass
+class LockRequest:
+    """Acquirer -> manager (and forwarded manager -> last requester)."""
+
+    lock: int
+    requester: int
+    #: Acquirer's vector time, so the granter can select write notices.
+    vc: Tuple[int, ...]
+    reply: "Mailbox"
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+
+
+@dataclass
+class LockGrant:
+    """Last releaser -> acquirer, carrying the invalidate set."""
+
+    lock: int
+    granter: int
+    vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+    #: Piggybacked data (TmkConfig.piggyback_budget > 0): diffs for pages
+    #: this grant would otherwise invalidate, keyed (interval id, page).
+    diffs: Dict[Tuple[IntervalId, int], Diff] = None  # type: ignore
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        total = (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+                 + notice_bytes(self.records, cost, nprocs))
+        if self.diffs:
+            total += sum(cost.diff_envelope_bytes + diff.wire_bytes
+                         for diff in self.diffs.values())
+        return total
+
+
+@dataclass
+class BarrierArrival:
+    """Client -> barrier manager: vector time + new write notices."""
+
+    barrier: int
+    pid: int
+    vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+                + notice_bytes(self.records, cost, nprocs))
+
+
+@dataclass
+class BarrierDeparture:
+    """Barrier manager -> client: merged vector time + missing notices."""
+
+    barrier: int
+    vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+    #: Garbage-collection orchestration (TmkConfig.gc_every > 0): phase 1
+    #: instructs every processor to validate its invalid pages; phase 2
+    #: (the following episode) carries the vector time below which diffs
+    #: and interval records may be discarded.
+    validate_all: bool = False
+    drop_below: Tuple[int, ...] = None  # type: ignore[assignment]
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+                + notice_bytes(self.records, cost, nprocs))
+
+
+@dataclass
+class ErcNotice:
+    """Eager-RC: releaser -> everyone, one freshly closed interval."""
+
+    record: IntervalRecord
+    #: Sender's own closed-interval count (receiver bumps only the
+    #: sender's vector-time entry; third-party knowledge still propagates
+    #: through synchronization, keeping the vc invariant intact).
+    creator_count: int
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes
+                + notice_bytes([self.record], cost, nprocs))
+
+
+@dataclass
+class DiffRequest:
+    """Faulting processor -> a dominant writer of the page."""
+
+    page: int
+    wanted: List[IntervalId]
+    requester: int
+    reply: "Mailbox"
+
+    def nbytes(self, cost: "CostModel") -> int:
+        return cost.diff_request_bytes + 8 * len(self.wanted)
+
+
+@dataclass
+class DiffResponse:
+    """Writer -> faulting processor: the requested (and accumulated) diffs."""
+
+    page: int
+    #: (interval id, interval vc, diff) in unspecified order; the receiver
+    #: sorts by vector time before applying.
+    entries: List[Tuple[IntervalId, Tuple[int, ...], Diff]]
+    #: When the server coalesced several requested diffs into one entry
+    #: (the TmkConfig.coalesce_diffs ablation), the full list of interval
+    #: ids that entry satisfies.
+    covers: List[IntervalId] = None  # type: ignore[assignment]
+
+    def nbytes(self, cost: "CostModel") -> int:
+        return sum(cost.diff_envelope_bytes + diff.wire_bytes
+                   for _, _, diff in self.entries)

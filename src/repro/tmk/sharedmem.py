@@ -1,0 +1,297 @@
+"""Shared memory allocation and software access detection.
+
+Real TreadMarks detects shared accesses with the VM hardware (mprotect +
+SIGSEGV).  The simulator substitutes *software* detection: shared data is
+declared as :class:`SharedArray` objects whose accessors consult the page
+table before touching memory.  Page granularity, twins, faults, and false
+sharing behave identically; only the trap mechanism differs (DESIGN.md
+section 2).
+
+Application discipline (enforced by returning read-only views): reads go
+through ``read``/``__getitem__``, writes through ``write``/``__setitem__``/
+``add``.  A view obtained before a synchronization operation must be
+re-read afterwards, just as a real DSM program must not cache shared values
+in registers across synchronization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tmk.api import Tmk
+
+__all__ = ["SharedArray", "SharedHeap"]
+
+
+class SharedHeap:
+    """Cluster-global allocator for the shared segment (Tmk_malloc).
+
+    All processors see the same address for the same allocation because
+    allocation metadata is global -- the analogue of TreadMarks programs
+    allocating from the master and distributing pointers.
+    """
+
+    def __init__(self, segment_bytes: int, page_size: int) -> None:
+        self.segment_bytes = segment_bytes
+        self.page_size = page_size
+        self._next = 0
+        self._named: Dict[str, Tuple[int, Tuple[int, ...], np.dtype]] = {}
+
+    def malloc(self, nbytes: int, align: int | None = None) -> int:
+        """Allocate ``nbytes``; page-aligned by default.
+
+        Page alignment is the default so that distinct arrays do not share
+        pages; pass a smaller ``align`` to reproduce intra-page false
+        sharing between allocations deliberately.
+        """
+        align = self.page_size if align is None else align
+        if align < 1:
+            raise ValueError("alignment must be positive")
+        addr = -(-self._next // align) * align
+        if addr + nbytes > self.segment_bytes:
+            raise MemoryError(
+                f"shared segment exhausted: need {nbytes} bytes at {addr}, "
+                f"segment is {self.segment_bytes} "
+                "(raise TmkConfig.segment_bytes)")
+        self._next = addr + nbytes
+        return addr
+
+    def named(self, name: str, shape: Tuple[int, ...], dtype: np.dtype,
+              align: int | None = None) -> int:
+        """Idempotent named allocation: first caller allocates, the rest
+        get the same address (shape/dtype must agree)."""
+        if name in self._named:
+            addr, got_shape, got_dtype = self._named[name]
+            if got_shape != shape or got_dtype != dtype:
+                raise ValueError(
+                    f"shared array {name!r} redeclared with different "
+                    f"shape/dtype: {got_shape}/{got_dtype} vs {shape}/{dtype}")
+            return addr
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        addr = self.malloc(nbytes, align)
+        self._named[name] = (addr, shape, np.dtype(dtype))
+        return addr
+
+
+class SharedArray:
+    """A typed window into the shared segment with page-fault semantics."""
+
+    def __init__(self, tmk: "Tmk", addr: int, shape: Tuple[int, ...],
+                 dtype: np.dtype) -> None:
+        self.tmk = tmk
+        self.addr = addr
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.nbytes = int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+        mem = tmk.core.pt.mem
+        self._view = mem[addr: addr + self.nbytes].view(self.dtype).reshape(self.shape)
+        self._base_ptr = self._view.__array_interface__["data"][0]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(key: Any) -> Any:
+        """Turn integer indices into 1-length slices so selections are
+        always ndarrays (byte ranges are computed from the selection)."""
+        if isinstance(key, (int, np.integer)):
+            k = int(key)
+            if k == -1:
+                return slice(k, None)
+            return slice(k, k + 1)
+        if isinstance(key, tuple):
+            return tuple(SharedArray._normalize(k) for k in key)
+        return key
+
+    def _touched_runs(self, key: Any) -> list:
+        """Contiguous byte runs [(start, nbytes), ...] of the shared
+        segment actually touched by ``self._view[key]``.
+
+        Exact for sliced/strided selections: the contiguous innermost
+        suffix of the selection forms one run per outer index, so a
+        transpose-style strided write touches only the pages holding its
+        own slices -- which is what determines the fault and twin pattern.
+        """
+        # Advanced (integer-array) indexing on the first axis: numpy makes
+        # a copy, so compute runs from the index values directly (one run
+        # per maximal group of consecutive rows).
+        first = key[0] if isinstance(key, tuple) else key
+        if isinstance(first, (list, np.ndarray)):
+            idx = np.asarray(first)
+            if idx.dtype == bool:
+                idx = np.flatnonzero(idx)
+            if idx.size == 0:
+                return []
+            idx = np.unique(idx.astype(np.int64))
+            if idx[0] < 0 or idx[-1] >= self.shape[0]:
+                raise IndexError(
+                    f"fancy index out of range: {idx[0]}..{idx[-1]}")
+            row_bytes = self._view.strides[0]
+            breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+            runs = []
+            for seg in np.split(idx, breaks):
+                lo, hi = int(seg[0]), int(seg[-1]) + 1
+                runs.append((self.addr + lo * row_bytes,
+                             (hi - lo) * row_bytes))
+            return runs
+
+        sub = self._view[key]
+        if not isinstance(sub, np.ndarray):
+            raise TypeError(f"unsupported shared index {key!r}")
+        if sub.size == 0:
+            return []
+        ptr = sub.__array_interface__["data"][0]
+        shape, strides = sub.shape, sub.strides
+        if any(st < 0 for st in strides):
+            # Negative strides are rare; fall back to the full envelope.
+            extent = sub.itemsize
+            start = ptr
+            for size, stride in zip(shape, strides):
+                extent += (size - 1) * abs(stride)
+                if stride < 0:
+                    start += (size - 1) * stride
+            return [(self.addr + (start - self._base_ptr), extent)]
+        # Peel off the contiguous suffix of dimensions.
+        chunk = sub.itemsize
+        d = len(shape)
+        while d > 0 and strides[d - 1] == chunk:
+            chunk *= shape[d - 1]
+            d -= 1
+        base = self.addr + (ptr - self._base_ptr)
+        if d == 0:
+            return [(base, chunk)]
+        # Enumerate the outer index space's byte offsets.
+        offsets = np.zeros(1, dtype=np.int64)
+        for size, stride in zip(shape[:d], strides[:d]):
+            offsets = (offsets[:, None]
+                       + np.arange(size, dtype=np.int64)[None, :] * stride
+                       ).reshape(-1)
+        offsets.sort()
+        # Merge offsets whose runs touch or overlap (dense inner slices).
+        runs = []
+        run_start = run_end = None
+        for off in offsets:
+            start = base + int(off)
+            if run_start is None:
+                run_start, run_end = start, start + chunk
+            elif start <= run_end:
+                run_end = max(run_end, start + chunk)
+            else:
+                runs.append((run_start, run_end - run_start))
+                run_start, run_end = start, start + chunk
+        runs.append((run_start, run_end - run_start))
+        return runs
+
+    def _range_of(self, key: Any) -> Tuple[int, int]:
+        """Envelope byte range (first to last touched byte) of a selection;
+        kept for size reporting and tests."""
+        runs = self._touched_runs(key)
+        if not runs:
+            return self.addr, 0
+        start = min(r[0] for r in runs)
+        end = max(r[0] + r[1] for r in runs)
+        return start, end - start
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read(self, key: Any = slice(None)) -> np.ndarray:
+        """Read access: faults in any invalid page, returns a read-only view."""
+        norm = self._normalize(key)
+        self.tmk.core.ensure_valid_runs(self._touched_runs(norm))
+        view = self._view[key]
+        if isinstance(view, np.ndarray):
+            view = view.view()
+            view.setflags(write=False)
+        return view
+
+    def get(self, key: Any):
+        """Read one element (Python scalar)."""
+        value = self.read(key)
+        if isinstance(value, np.ndarray):
+            raise TypeError(f"get() with non-scalar index {key!r}")
+        return value
+
+    def __getitem__(self, key: Any):
+        return self.read(key)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def write(self, key: Any, values: Any) -> None:
+        """Write access: validates + twins every covered page, then stores.
+
+        Single-writer cores (IVY) set ``prefers_piecewise_writes``: a
+        multi-page store is then performed page piece by page piece, each
+        under momentary ownership -- like real per-store traps -- because
+        holding many contended pages simultaneously can livelock.
+        """
+        norm = self._normalize(key)
+        runs = self._touched_runs(norm)
+        core = self.tmk.core
+        if (getattr(core, "prefers_piecewise_writes", False)
+                and self._piecewise_write(norm, runs, values)):
+            return
+        core.ensure_writable_runs(runs)
+        self._view[key] = values
+
+    def _piecewise_write(self, norm: Any, runs: list, values: Any) -> bool:
+        """Store run by run, page piece by page piece.  Returns False when
+        the selection shape rules it out (negative strides, fancy index
+        in caller-defined order), letting the caller fall back."""
+        first = norm[0] if isinstance(norm, tuple) else norm
+        if isinstance(first, (list, np.ndarray)):
+            return False
+        sub = self._view[norm]
+        if not isinstance(sub, np.ndarray) or sub.size == 0:
+            return sub is not None and getattr(sub, "size", 1) == 0
+        if any(st < 0 for st in sub.strides):
+            return False
+        data = np.broadcast_to(np.asarray(values, dtype=self.dtype),
+                               sub.shape)
+        flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if flat.size != sum(n for _, n in runs):
+            return False  # exotic overlap: fall back to the atomic path
+        core = self.tmk.core
+        mem = core.pt.mem
+        page = core.cost.page_size
+        at = 0
+        for start, nbytes in runs:
+            pos = start
+            end = start + nbytes
+            while pos < end:
+                piece = min(end, (pos // page + 1) * page) - pos
+                core.ensure_writable_range(pos, piece)
+                mem[pos: pos + piece] = flat[at: at + piece]
+                at += piece
+                pos += piece
+        return True
+
+    def set(self, key: Any, value: Any) -> None:
+        """Write one element (alias of write for symmetric style)."""
+        self.write(key, value)
+
+    def __setitem__(self, key: Any, values: Any) -> None:
+        self.write(key, values)
+
+    def add(self, key: Any, values: Any) -> None:
+        """Read-modify-write: ``self[key] += values`` with full fault checks."""
+        norm = self._normalize(key)
+        self.tmk.core.ensure_writable_runs(self._touched_runs(norm))
+        self._view[key] += values
+
+    # ------------------------------------------------------------------
+    def pages(self) -> range:
+        """Pages this array spans (for tests and reports)."""
+        page = self.tmk.core.cost.page_size
+        first = self.addr // page
+        last = (self.addr + max(self.nbytes, 1) - 1) // page
+        return range(first, last + 1)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SharedArray addr={self.addr:#x} shape={self.shape} "
+                f"dtype={self.dtype}>")

@@ -1,0 +1,24 @@
+"""Shared helpers for application tests."""
+
+import pytest
+
+from repro.apps import base
+
+
+@pytest.fixture
+def check_app():
+    """Verify an app's parallel versions against its sequential one."""
+
+    def checker(name, params, nprocs_list=(1, 2, 5, 8), systems=("tmk", "pvm")):
+        spec = base.get_app(name)
+        seq = base.run_sequential(spec, params)
+        runs = {}
+        for system in systems:
+            for nprocs in nprocs_list:
+                par = base.run_parallel(spec, system, nprocs, params)
+                assert spec.verify(par.result, seq.result), \
+                    f"{name}/{system}/{nprocs} result mismatch"
+                runs[(system, nprocs)] = par
+        return seq, runs
+
+    return checker

@@ -1,0 +1,119 @@
+"""Tests for Barnes-Hut (hierarchical N-body)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.barnes_hut import (BhParams, OctTree, compute_forces,
+                                   contiguous_runs, costzone_partition,
+                                   initial_state, make_tree)
+
+
+@pytest.fixture
+def state():
+    return initial_state(BhParams.tiny())
+
+
+class TestTree:
+    def test_dfs_order_is_a_permutation(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        assert sorted(tree.dfs_order.tolist()) == list(range(pos.shape[0]))
+
+    def test_root_mass_is_total(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        assert tree.mass[0] == pytest.approx(mass.sum())
+
+    def test_root_com_is_weighted_mean(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        com = (pos * mass[:, None]).sum(axis=0) / mass.sum()
+        assert np.allclose(tree.com[0], com)
+
+    def test_tree_cache_returns_same_object(self, state):
+        pos, _, mass = state
+        assert make_tree(pos, mass) is make_tree(pos, mass)
+
+
+class TestForces:
+    def test_partitioned_forces_match_full(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        n = pos.shape[0]
+        full, _ = compute_forces(tree, pos, mass, np.arange(n))
+        for pid in range(3):
+            mine = costzone_partition(tree, pid, 3)
+            piece, _ = compute_forces(tree, pos, mass, mine)
+            assert np.allclose(piece, full[mine])
+
+    def test_interaction_count_positive(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        _, interactions = compute_forces(tree, pos, mass, np.arange(8))
+        assert interactions > 0
+
+    def test_opening_criterion_reduces_work(self):
+        """Barnes-Hut does fewer interactions than O(n^2), and the work
+        grows sub-quadratically with the body count (theta = 0.5)."""
+        counts = {}
+        for n in (512, 1024):
+            pos, _, mass = initial_state(BhParams(nbodies=n, steps=1))
+            tree = OctTree(pos, mass)
+            _, counts[n] = compute_forces(tree, pos, mass, np.arange(n))
+        assert counts[1024] < 0.7 * 1024 * 1023
+        # Doubling n must grow work by clearly less than the 4x of n^2.
+        assert counts[1024] / counts[512] < 3.5
+
+
+class TestCostzones:
+    def test_partitions_disjoint_and_complete(self, state):
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        seen = []
+        for pid in range(5):
+            seen.extend(costzone_partition(tree, pid, 5).tolist())
+        assert sorted(seen) == list(range(pos.shape[0]))
+
+    def test_ownership_scattered_in_memory(self, state):
+        """The paper's point: tree-adjacent bodies are not memory-adjacent,
+        so a processor's bodies land on many pages."""
+        pos, _, mass = state
+        tree = OctTree(pos, mass)
+        mine = costzone_partition(tree, 0, 4)
+        runs = contiguous_runs(mine)
+        assert len(runs) > 1  # not a single contiguous block
+
+    def test_contiguous_runs_reconstruct(self):
+        idx = np.array([1, 2, 3, 7, 10, 11])
+        runs = contiguous_runs(idx)
+        rebuilt = [i for lo, hi in runs for i in range(lo, hi)]
+        assert rebuilt == idx.tolist()
+        assert contiguous_runs(np.array([], dtype=np.int64)) == []
+
+
+class TestCorrectness:
+    def test_positions_match_sequential(self, check_app):
+        check_app("barnes_hut", BhParams.tiny(), nprocs_list=(1, 2, 8))
+
+
+class TestPaperBehaviour:
+    def test_pvm_all_to_all_broadcast(self):
+        p = BhParams.tiny()
+        n = 4
+        par = base.run_parallel("barnes_hut", "pvm", n, p)
+        assert par.total_messages() == n * (n - 1) * p.steps
+
+    def test_tmk_multi_writer_faults(self):
+        """Scattered ownership puts several writers on each body page, so
+        faults request diffs from more than one processor."""
+        par = base.run_parallel("barnes_hut", "tmk", 4, BhParams.tiny())
+        requests = par.stats.get("tmk", "diff_request").messages
+        responses = par.stats.get("tmk", "diff_response").messages
+        assert requests > 0 and responses >= requests
+
+    def test_tmk_more_messages_than_pvm(self):
+        p = BhParams.tiny()
+        tmk = base.run_parallel("barnes_hut", "tmk", 4, p)
+        pvm = base.run_parallel("barnes_hut", "pvm", 4, p)
+        assert tmk.total_messages() > pvm.total_messages()

@@ -1,0 +1,60 @@
+"""Tests for EP (Embarrassingly Parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.ep import EpParams, NUM_ANNULI, generate_block
+
+
+class TestKernel:
+    def test_block_is_deterministic(self):
+        p = EpParams.tiny()
+        assert np.array_equal(generate_block(p, 0), generate_block(p, 0))
+
+    def test_blocks_differ(self):
+        p = EpParams.tiny()
+        assert not np.array_equal(generate_block(p, 0), generate_block(p, 1))
+
+    def test_counts_concentrated_in_low_annuli(self):
+        """Gaussian deviates: |X| < 1 dominates; counts decay outward."""
+        counts = generate_block(EpParams.tiny(), 0)
+        assert counts[0] > counts[3] > counts[6]
+        assert counts.sum() > 0
+
+    def test_histogram_length(self):
+        assert generate_block(EpParams.tiny(), 0).size == NUM_ANNULI
+
+
+class TestCorrectness:
+    def test_all_systems_all_counts(self, check_app):
+        check_app("ep", EpParams.tiny())
+
+    def test_block_partition_covers_all_blocks(self):
+        """Parallel tally equals sequential regardless of processor count
+        because blocks are deterministic and partitioned by index."""
+        p = EpParams.tiny()
+        seq = base.run_sequential("ep", p)
+        for n in (3, 7):
+            par = base.run_parallel("ep", "tmk", n, p)
+            assert par.result == seq.result
+
+
+class TestPaperBehaviour:
+    def test_negligible_communication(self):
+        """"The communication overhead is negligible compared to the
+        overall execution time.""" """"""
+        p = EpParams.bench()
+        seq = base.run_sequential("ep", p)
+        for system in ("tmk", "pvm"):
+            par = base.run_parallel("ep", system, 8, p)
+            assert seq.time / par.time > 7.0
+
+    def test_tmk_uses_one_lock_episode_per_processor(self):
+        par = base.run_parallel("ep", "tmk", 8, EpParams.tiny())
+        grants = par.stats.get("tmk", "lock_grant").messages
+        assert grants <= 8
+
+    def test_pvm_gathers_at_processor_zero(self):
+        par = base.run_parallel("ep", "pvm", 8, EpParams.tiny())
+        assert par.stats.get("pvm", "pvm_msg").messages == 7

@@ -1,0 +1,68 @@
+"""Tests for the 3-D FFT."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.fft3d import FftParams, initial_field, slab
+
+
+class TestDecomposition:
+    def test_slabs_cover_axis(self):
+        covered = []
+        for pid in range(5):
+            lo, hi = slab(pid, 5, 17)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(17))
+
+    def test_initial_field_deterministic(self):
+        p = FftParams.tiny()
+        assert np.array_equal(initial_field(p), initial_field(p))
+
+
+class TestCorrectness:
+    def test_checksums_match_sequential(self, check_app):
+        check_app("fft3d", FftParams.tiny(), nprocs_list=(1, 2, 4, 8))
+
+    def test_uneven_processor_counts(self, check_app):
+        """Slab boundaries mid-plane must still transpose correctly."""
+        check_app("fft3d", FftParams.tiny(), nprocs_list=(3, 5, 7),
+                  systems=("tmk", "pvm"))
+
+    def test_checksum_decays_with_evolution(self):
+        """The evolution factor < 1 shrinks the field every iteration."""
+        p = FftParams.tiny()
+        seq = base.run_sequential("fft3d", p)
+        magnitudes = np.abs(seq.result)
+        assert magnitudes[-1] < magnitudes[0]
+
+
+class TestPaperBehaviour:
+    def test_pvm_transpose_messages(self):
+        """One message per (sender, receiver) pair per transpose."""
+        p = FftParams.tiny()
+        n = 4
+        par = base.run_parallel("fft3d", "pvm", n, p)
+        transposes = 2 * p.iterations  # measured window excludes warm-up
+        assert par.total_messages() == n * (n - 1) * transposes
+
+    def test_tmk_same_data_many_more_messages(self):
+        p = FftParams(n1=32, n2=32, n3=16, iterations=2)
+        tmk = base.run_parallel("fft3d", "tmk", 4, p)
+        pvm = base.run_parallel("fft3d", "pvm", 4, p)
+        assert tmk.total_messages() > 5 * pvm.total_messages()
+        assert tmk.total_kbytes() < 2.0 * pvm.total_kbytes()
+
+    def test_false_sharing_anomaly_at_non_dividing_counts(self):
+        """At the bench geometry, 4 processors divide every axis into
+        page-aligned slices; 5 do not, so slab boundaries fall mid-page,
+        pages gain extra writers/readers, and the same data moves in more
+        messages (and some diffs ship twice) -- the paper's anomaly."""
+        p = FftParams(n1=64, n2=64, n3=32, iterations=2)
+        at4 = base.run_parallel("fft3d", "tmk", 4, p)
+        at5 = base.run_parallel("fft3d", "tmk", 5, p)
+        msgs_per_kb_4 = at4.total_messages() / at4.total_kbytes()
+        msgs_per_kb_5 = at5.total_messages() / at5.total_kbytes()
+        assert msgs_per_kb_5 > msgs_per_kb_4
+        # Duplicated diffs also inflate the data itself.
+        assert at5.total_kbytes() > at4.total_kbytes()

@@ -1,0 +1,67 @@
+"""Tests for QSORT (work-queue quicksort)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.qsort import (QsortParams, bubble_cost, initial_keys,
+                              partition, partition_cost)
+
+
+class TestPartition:
+    def test_three_way_split(self):
+        values = np.array([5, 1, 9, 3, 3], dtype=np.int32)  # pivot = 3
+        rearranged, eq_lo, eq_hi = partition(values)
+        assert rearranged[:eq_lo].tolist() == [1]
+        assert rearranged[eq_lo:eq_hi].tolist() == [3, 3]
+        assert sorted(rearranged[eq_hi:].tolist()) == [5, 9]
+
+    def test_partition_preserves_multiset(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 100, 50).astype(np.int32)
+        rearranged, _, _ = partition(values)
+        assert sorted(rearranged.tolist()) == sorted(values.tolist())
+
+    def test_partition_deterministic(self):
+        values = initial_keys(QsortParams.tiny())[:100]
+        a, *_ = partition(values)
+        b, *_ = partition(values)
+        assert np.array_equal(a, b)
+
+    def test_costs_scale(self):
+        assert bubble_cost(2000) == pytest.approx(4 * bubble_cost(1000))
+        assert partition_cost(2000) == pytest.approx(2 * partition_cost(1000))
+
+
+class TestCorrectness:
+    def test_sorted_exactly(self, check_app):
+        check_app("qsort", QsortParams.tiny())
+
+    def test_result_is_permutation_sorted(self):
+        p = QsortParams.tiny()
+        par = base.run_parallel("qsort", "tmk", 4, p)
+        assert np.array_equal(par.result, np.sort(initial_keys(p)))
+
+
+class TestPaperBehaviour:
+    def test_work_queue_drains_without_deadlock_any_nprocs(self):
+        p = QsortParams.tiny()
+        seq = base.run_sequential("qsort", p)
+        for n in (3, 6, 7):
+            par = base.run_parallel("qsort", "tmk", n, p)
+            assert np.array_equal(par.result, seq.result)
+
+    def test_subarrays_span_pages(self):
+        """Threshold-sized subarrays exceed one page, so each migration
+        needs multiple diff requests (the paper's main QSORT cost)."""
+        p = QsortParams.tiny()
+        par = base.run_parallel("qsort", "tmk", 4, p)
+        requests = par.stats.get("tmk", "diff_request").messages
+        grants = par.stats.get("tmk", "lock_grant").messages
+        assert requests > grants
+
+    def test_tmk_sends_many_more_messages(self):
+        p = QsortParams.tiny()
+        tmk = base.run_parallel("qsort", "tmk", 4, p)
+        pvm = base.run_parallel("qsort", "pvm", 4, p)
+        assert tmk.total_messages() > 3 * pvm.total_messages()

@@ -1,0 +1,125 @@
+"""Tests for TSP (branch-and-bound traveling salesman)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.tsp import (TourEngine, TspParams, distance_matrix,
+                            greedy_tour_cost, lower_bound, min_out_edges,
+                            recursive_solve, remaining_slack, _prio,
+                            _prio_bound)
+
+
+class TestPriorityPacking:
+    def test_bound_roundtrip(self):
+        key = _prio(5, 1234)
+        assert _prio_bound(key) == 1234
+
+    def test_deeper_paths_more_promising(self):
+        assert _prio(10, 5000) < _prio(9, 1)
+
+    def test_equal_depth_lower_bound_wins(self):
+        assert _prio(5, 100) < _prio(5, 200)
+
+
+class TestBounds:
+    def test_greedy_is_a_valid_tour_cost(self):
+        p = TspParams.tiny()
+        dist = distance_matrix(p)
+        seq = base.run_sequential("tsp", p)
+        # Greedy (2-opt improved) upper bound >= optimum.
+        assert greedy_tour_cost(dist) >= seq.result
+
+    def test_lower_bound_admissible_at_root(self):
+        p = TspParams.tiny()
+        dist = distance_matrix(p)
+        seq = base.run_sequential("tsp", p)
+        assert lower_bound(dist, [0], 0) <= seq.result
+
+    def test_remaining_slack_restricted_tighter_than_global(self):
+        p = TspParams.tiny()
+        dist = distance_matrix(p)
+        d = [[int(v) for v in row] for row in dist]
+        rem = [3, 4, 5]
+        restricted = remaining_slack(d, rem)
+        global_min = int(min_out_edges(dist)[rem].sum())
+        assert restricted >= global_min
+
+    def test_min_out_edges_exclude_self(self):
+        dist = distance_matrix(TspParams.tiny())
+        mo = min_out_edges(dist)
+        assert all(v > 0 for v in mo)  # diagonal (0) excluded
+
+
+class TestRecursiveSolve:
+    def test_exhaustive_finds_optimum_of_small_instance(self):
+        p = TspParams(ncities=6, threshold=1)
+        dist = distance_matrix(p)
+        best, tour, nodes = recursive_solve(dist, [0], 0, 10 ** 9)
+        # Brute force check.
+        from itertools import permutations
+        brute = min(
+            sum(int(dist[a, b]) for a, b in
+                zip((0,) + perm, perm + (0,)))
+            for perm in permutations(range(1, 6)))
+        assert best == brute
+        assert nodes > 0
+
+    def test_no_improvement_returns_none_tour(self):
+        p = TspParams(ncities=6, threshold=1)
+        dist = distance_matrix(p)
+        best, tour, _ = recursive_solve(dist, [0], 0, 0)  # bound too low
+        assert tour is None
+        assert best == 0
+
+
+class TestTourEngine:
+    def test_engine_enumerates_solvable_tours(self):
+        p = TspParams.tiny()
+        engine = TourEngine(p)
+        best = greedy_tour_cost(engine.dist)
+        tours = 0
+        while True:
+            tour, _, _ = engine.get_tour(best)
+            if tour is None:
+                break
+            tours += 1
+            path, cost = tour
+            assert len(path) > p.threshold
+            nbest, _, _ = recursive_solve(engine.dist, path, cost, best)
+            best = min(best, nbest)
+        assert tours > 0
+        seq = base.run_sequential("tsp", p)
+        assert best == seq.result
+
+    def test_pool_slots_recycled(self):
+        p = TspParams.tiny()
+        engine = TourEngine(p)
+        best = greedy_tour_cost(engine.dist)
+        while engine.get_tour(best)[0] is not None:
+            pass
+        # All slots returned to the free stack when the queue drains.
+        assert len(engine.free) == p.pool_slots
+        assert engine.pool == {}
+
+
+class TestCorrectness:
+    def test_optimum_found_all_systems(self, check_app):
+        check_app("tsp", TspParams.tiny(), nprocs_list=(1, 2, 8))
+
+
+class TestPaperBehaviour:
+    def test_migratory_structures_fault_repeatedly(self):
+        """Each get_tour must re-fetch the pool/queue/stack pages that
+        other processors dirtied -- several faults per lock episode."""
+        par = base.run_parallel("tsp", "tmk", 4, TspParams.tiny())
+        grants = par.stats.get("tmk", "lock_grant").messages
+        faults = par.stats.get("tmk", "diff_request").messages
+        assert grants > 0
+        assert faults > grants  # multiple page fetches per episode
+
+    def test_pvm_exchanges_only_tours_and_bounds(self):
+        tmk = base.run_parallel("tsp", "tmk", 4, TspParams.tiny())
+        pvm = base.run_parallel("tsp", "pvm", 4, TspParams.tiny())
+        assert tmk.total_messages() > 3 * pvm.total_messages()
+        assert tmk.total_kbytes() > pvm.total_kbytes()

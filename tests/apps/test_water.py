@@ -1,0 +1,104 @@
+"""Tests for Water (molecular dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.water import (WaterParams, chunk, initial_positions,
+                              owners_touched, window_forces)
+
+
+class TestDecomposition:
+    def test_chunks_cover_molecules(self):
+        covered = []
+        for pid in range(5):
+            lo, hi = chunk(pid, 5, 64)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(64))
+
+    def test_owners_touched_covers_window(self):
+        spans = owners_touched(8, 16, 4, 64)  # chunk [8,16), window +32
+        rows = sorted({r for _, lo, hi in spans for r in range(lo, hi)})
+        expected = sorted(set(range(8, 48)))
+        assert rows == expected
+
+    def test_owners_touched_no_duplicates(self):
+        for nprocs in (1, 2, 3, 8):
+            for pid in range(nprocs):
+                lo, hi = chunk(pid, nprocs, 64)
+                spans = owners_touched(lo, hi, nprocs, 64)
+                seen = []
+                for _, olo, ohi in spans:
+                    seen.extend(range(olo, ohi))
+                assert len(seen) == len(set(seen)), \
+                    f"duplicate rows at nprocs={nprocs} pid={pid}"
+
+    def test_wraparound_spans(self):
+        spans = owners_touched(56, 64, 8, 64)  # last chunk wraps
+        rows = {r for _, lo, hi in spans for r in range(lo, hi)}
+        assert 0 in rows and 63 in rows
+
+
+class TestForces:
+    def test_newton_third_law_total_force_zero(self):
+        pos = initial_positions(WaterParams.tiny())
+        forces, _ = window_forces(pos, 0, pos.shape[0])
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_window_partition_sums_to_full(self):
+        pos = initial_positions(WaterParams.tiny())
+        n = pos.shape[0]
+        full, _ = window_forces(pos, 0, n)
+        partial = np.zeros_like(full)
+        for pid in range(4):
+            lo, hi = chunk(pid, 4, n)
+            piece, _ = window_forces(pos, lo, hi)
+            partial += piece
+        assert np.allclose(partial, full, rtol=1e-12)
+
+    def test_cost_proportional_to_pairs(self):
+        pos = initial_positions(WaterParams.tiny())
+        _, cost_half = window_forces(pos, 0, pos.shape[0] // 2)
+        _, cost_full = window_forces(pos, 0, pos.shape[0])
+        assert cost_full == pytest.approx(2 * cost_half)
+
+
+class TestCorrectness:
+    def test_positions_match_sequential(self, check_app):
+        check_app("water", WaterParams.tiny())
+
+
+class TestPaperBehaviour:
+    def test_false_sharing_shrinks_with_problem_size(self):
+        """At 288 molecules the shared arrays span ~2 pages and chunk
+        boundaries cut pages everywhere; at 1728 the boundary fraction
+        drops, so the TMK/PVM data ratio falls (paper section 3.6)."""
+        small_t = base.run_parallel("water", "tmk", 8, WaterParams(nmol=288, steps=1))
+        small_p = base.run_parallel("water", "pvm", 8, WaterParams(nmol=288, steps=1))
+        big_t = base.run_parallel("water", "tmk", 8, WaterParams(nmol=1728, steps=1))
+        big_p = base.run_parallel("water", "pvm", 8, WaterParams(nmol=1728, steps=1))
+        small_ratio = small_t.total_kbytes() / small_p.total_kbytes()
+        big_ratio = big_t.total_kbytes() / big_p.total_kbytes()
+        assert big_ratio < small_ratio
+
+    def test_per_owner_locks_used(self):
+        par = base.run_parallel("water", "tmk", 4, WaterParams.tiny())
+        assert par.stats.get("tmk", "lock_grant").messages > 0
+
+    def test_pvm_two_messages_per_interacting_pair_per_step(self):
+        """"Two user-level messages are sent for each pair of processors
+        that interact": displacements one way, forces the other."""
+        p = WaterParams(nmol=64, steps=3)
+        n = 4
+        par = base.run_parallel("water", "pvm", n, p)
+        # Derive the interacting pairs from the wraparound window: each
+        # contributor sends positions to / receives forces from exactly
+        # the owners its window touches.
+        expected_per_step = 0
+        for pid in range(n):
+            lo, hi = chunk(pid, n, p.nmol)
+            targets = [o for o, _, _ in owners_touched(lo, hi, n, p.nmol)
+                       if o != pid]
+            expected_per_step += 2 * len(set(targets))
+        per_step = par.total_messages() / p.steps
+        assert per_step == pytest.approx(expected_per_step, rel=0.01)

@@ -1,0 +1,50 @@
+"""Tests for the time-decomposition analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.apps import base
+from repro.apps.water import WaterParams
+from repro.bench.analysis import decompose, render_breakdown
+
+
+@pytest.fixture(scope="module")
+def water_run():
+    return base.run_parallel("water", "tmk", 4, WaterParams.tiny())
+
+
+class TestDecompose:
+    def test_one_breakdown_per_processor(self, water_run):
+        breakdown = decompose(water_run)
+        assert len(breakdown.processors) == 4
+        assert [p.pid for p in breakdown.processors] == [0, 1, 2, 3]
+
+    def test_components_do_not_exceed_total(self, water_run):
+        for p in decompose(water_run).processors:
+            assert p.lock_wait + p.barrier_wait + p.fault_wait \
+                <= p.total + 1e-9
+            assert p.other >= 0.0
+
+    def test_shares_sum_to_one(self, water_run):
+        for p in decompose(water_run).processors:
+            assert sum(p.shares().values()) == pytest.approx(1.0)
+
+    def test_mean_share_bounds(self, water_run):
+        breakdown = decompose(water_run)
+        for field in ("lock", "barrier", "fault", "other"):
+            assert 0.0 <= breakdown.mean_share(field) <= 1.0
+
+    def test_water_waits_on_locks_and_barriers(self, water_run):
+        breakdown = decompose(water_run)
+        assert breakdown.mean_share("lock") > 0.0
+        assert breakdown.mean_share("barrier") > 0.0
+
+    def test_rejects_pvm_runs(self):
+        run = base.run_parallel("water", "pvm", 2, WaterParams.tiny())
+        with pytest.raises(ValueError, match="TreadMarks"):
+            decompose(run)
+
+    def test_render_contains_every_processor(self, water_run):
+        text = render_breakdown("water", decompose(water_run))
+        assert "mean shares" in text
+        assert text.count("\n") >= 4 + 4  # header + one row per processor

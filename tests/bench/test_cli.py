@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.apps.ep import EpParams
+from repro.bench import harness
+from repro.cli import (build_parser, cmd_figure, cmd_list, cmd_run,
+                       cmd_table, cmd_trace, main)
+
+
+@pytest.fixture
+def tiny_ep(monkeypatch):
+    """Swap fig01 for a tiny parameterization so CLI tests run fast."""
+    exp = harness.EXPERIMENTS["fig01"]
+    tiny = harness.Experiment(exp.exp_id, exp.label, exp.app, exp.figure,
+                              EpParams.tiny(), EpParams.tiny(), exp.size_note)
+    harness.clear_cache()
+    monkeypatch.setitem(harness.EXPERIMENTS, "fig01", tiny)
+    yield
+    harness.clear_cache()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig01"])
+        assert (args.system, args.nprocs, args.preset) == ("tmk", 8, "bench")
+
+    def test_figure_nprocs_string(self):
+        args = build_parser().parse_args(
+            ["figure", "fig03", "--nprocs", "1,8"])
+        assert args.nprocs == "1,8"
+
+
+class TestCommands:
+    def test_list_mentions_all_experiments(self):
+        text = cmd_list()
+        for exp_id in harness.EXPERIMENTS:
+            assert exp_id in text
+
+    def test_run_tmk_includes_breakdown(self, tiny_ep):
+        text = cmd_run("fig01", "tmk", 2, "bench")
+        assert "speedup" in text
+        assert "Time decomposition" in text
+        assert "barrier_arrival" in text
+
+    def test_run_pvm_no_breakdown(self, tiny_ep):
+        text = cmd_run("fig01", "pvm", 2, "bench")
+        assert "speedup" in text
+        assert "Time decomposition" not in text
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cmd_run("fig99", "tmk", 2, "bench")
+
+    def test_figure_renders_both_curves(self, tiny_ep):
+        text = cmd_figure("fig01", "1,2", "bench")
+        assert "TMK" in text and "PVM" in text
+
+    def test_tables(self, tiny_ep):
+        assert "Sequential Time" in cmd_table("table1", "bench")
+
+    def test_trace_produces_events(self):
+        text = cmd_trace("ep", 2, 20)
+        assert "protocol trace" in text
+        assert "barrier" in text
+
+    def test_main_dispatch(self, tiny_ep, capsys):
+        assert main(["list"]) == 0
+        assert "fig01" in capsys.readouterr().out

@@ -1,0 +1,31 @@
+"""Tests for the ASCII figure renderer and table renderers."""
+
+from repro.bench.figures import render_figure, render_series_table
+
+
+class TestSeriesTable:
+    def test_contains_all_values(self):
+        text = render_series_table((1, 2), [1.0, 1.9], [1.0, 2.0])
+        assert "1.90" in text and "2.00" in text
+        assert text.splitlines()[1].startswith("TMK")
+
+
+class TestFigure:
+    def test_marks_present(self):
+        text = render_figure("Figure X", (1, 2, 4, 8),
+                             [1.0, 1.8, 3.0, 5.0], [1.0, 2.0, 3.9, 7.0])
+        assert "Figure X" in text
+        assert "T" in text and "P" in text
+        assert "processors" in text
+
+    def test_coinciding_points_star(self):
+        text = render_figure("t", (1,), [1.0], [1.0])
+        assert "*" in text
+
+    def test_ideal_diagonal_drawn(self):
+        text = render_figure("t", (1, 8), [0.5, 0.5], [0.5, 0.5])
+        assert "." in text
+
+    def test_out_of_range_speedups_clamped(self):
+        # Must not raise for speedups above 8 or below 0.
+        render_figure("t", (1, 8), [0.0, 9.5], [0.1, 8.4])

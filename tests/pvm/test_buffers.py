@@ -1,0 +1,150 @@
+"""Unit and property tests for PVM typed pack/unpack buffers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pvm.buffers import (DataFormat, PvmTypeMismatch, ReceiveBuffer,
+                               SendBuffer, TYPE_DTYPES)
+
+
+def roundtrip(buf: SendBuffer) -> ReceiveBuffer:
+    return ReceiveBuffer(buf._freeze(), src=0, tag=0, fmt=buf.fmt)
+
+
+class TestPacking:
+    def test_int_roundtrip(self):
+        buf = SendBuffer()
+        buf.pkint([1, 2, 3])
+        got = roundtrip(buf).upkint(3)
+        assert got.tolist() == [1, 2, 3]
+        assert got.dtype == np.int32
+
+    def test_all_type_families(self):
+        buf = SendBuffer()
+        buf.pkbyte([1]).pkshort([2]).pkint([3]).pkuint([4]).pklong([5])
+        buf.pkfloat([1.5]).pkdouble([2.5]).pkdcplx([1 + 2j])
+        rb = roundtrip(buf)
+        assert rb.upkbyte(1)[0] == 1
+        assert rb.upkshort(1)[0] == 2
+        assert rb.upkint(1)[0] == 3
+        assert rb.upkuint(1)[0] == 4
+        assert rb.upklong(1)[0] == 5
+        assert rb.upkfloat(1)[0] == pytest.approx(1.5)
+        assert rb.upkdouble(1)[0] == pytest.approx(2.5)
+        assert rb.upkdcplx(1)[0] == 1 + 2j
+
+    def test_stride_selects_every_nth(self):
+        """The paper: pack routines take start, count, and stride."""
+        buf = SendBuffer()
+        buf.pkint(np.arange(12), count=4, stride=3)
+        assert roundtrip(buf).upkint(4).tolist() == [0, 3, 6, 9]
+
+    def test_stride_needs_enough_elements(self):
+        buf = SendBuffer()
+        with pytest.raises(ValueError, match="needs"):
+            buf.pkint([1, 2, 3], count=3, stride=2)
+
+    def test_bad_stride(self):
+        buf = SendBuffer()
+        with pytest.raises(ValueError):
+            buf.pkint([1], count=1, stride=0)
+
+    def test_string_roundtrip(self):
+        buf = SendBuffer()
+        buf.pkstr("hello pvm")
+        assert roundtrip(buf).upkstr() == "hello pvm"
+
+    def test_nbytes_counts_user_data(self):
+        buf = SendBuffer()
+        buf.pkint([1, 2, 3])     # 12 bytes
+        buf.pkdouble([1.0])      # 8 bytes
+        assert buf.nbytes == 20
+        assert buf.nitems == 4
+
+    def test_pack_after_send_rejected(self):
+        buf = SendBuffer()
+        buf.pkint([1])
+        buf._freeze()
+        with pytest.raises(RuntimeError, match="dispatched"):
+            buf.pkint([2])
+
+    def test_unknown_type_code(self):
+        buf = SendBuffer()
+        with pytest.raises(PvmTypeMismatch):
+            buf.pack("quadruple", [1])
+
+    def test_data_copied_at_pack_time(self):
+        source = np.array([1, 2, 3], dtype=np.int32)
+        buf = SendBuffer()
+        buf.pkint(source)
+        source[:] = 99  # mutation after pack must not leak
+        assert roundtrip(buf).upkint(3).tolist() == [1, 2, 3]
+
+
+class TestUnpackMatching:
+    def test_type_mismatch_raises(self):
+        buf = SendBuffer()
+        buf.pkint([1, 2])
+        with pytest.raises(PvmTypeMismatch, match="does not match"):
+            roundtrip(buf).upkdouble(2)
+
+    def test_count_mismatch_raises(self):
+        buf = SendBuffer()
+        buf.pkint([1, 2, 3])
+        with pytest.raises(PvmTypeMismatch, match="items"):
+            roundtrip(buf).upkint(2)
+
+    def test_unpack_past_end_raises(self):
+        buf = SendBuffer()
+        buf.pkint([1])
+        rb = roundtrip(buf)
+        rb.upkint(1)
+        with pytest.raises(PvmTypeMismatch, match="past end"):
+            rb.upkint(1)
+
+    def test_segments_consumed_in_order(self):
+        buf = SendBuffer()
+        buf.pkint([1]).pkdouble([2.0]).pkint([3])
+        rb = roundtrip(buf)
+        assert rb.remaining_segments == 3
+        rb.upkint(1)
+        rb.upkdouble(1)
+        assert rb.remaining_segments == 1
+        assert rb.upkint(1)[0] == 3
+
+    def test_upkstr_on_non_byte_segment(self):
+        buf = SendBuffer()
+        buf.pkint([1])
+        with pytest.raises(PvmTypeMismatch):
+            roundtrip(buf).upkstr()
+
+
+_TYPED_VALUES = {
+    "byte": st.integers(0, 255),
+    "short": st.integers(-2 ** 15, 2 ** 15 - 1),
+    "int": st.integers(-2 ** 31, 2 ** 31 - 1),
+    "long": st.integers(-2 ** 63, 2 ** 63 - 1),
+    "double": st.floats(allow_nan=False, allow_infinity=False, width=64),
+}
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(
+    st.sampled_from(sorted(_TYPED_VALUES)).flatmap(
+        lambda code: st.tuples(
+            st.just(code),
+            st.lists(_TYPED_VALUES[code], min_size=1, max_size=20))),
+    min_size=1, max_size=8))
+def test_pack_unpack_roundtrip_property(segments):
+    """Any sequence of typed segments unpacks to exactly what was packed."""
+    buf = SendBuffer()
+    for code, values in segments:
+        buf.pack(code, values)
+    rb = roundtrip(buf)
+    for code, values in segments:
+        got = rb.unpack(code, len(values))
+        expected = np.asarray(values).astype(TYPE_DTYPES[code])
+        assert np.array_equal(got, expected)
+    assert rb.remaining_segments == 0

@@ -1,0 +1,59 @@
+"""Unit tests for the cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def cost():
+    return CostModel.paper_testbed()
+
+
+class TestDerivedHelpers:
+    def test_wire_time_at_fddi_rate(self, cost):
+        # 12.5 MB/s: 12500 bytes take one millisecond.
+        assert cost.wire_time(12500) == pytest.approx(1e-3)
+
+    def test_fragment_counts(self, cost):
+        assert cost.udp_fragments(0) == 1
+        assert cost.udp_fragments(1) == 1
+        assert cost.udp_fragments(cost.udp_mtu) == 1
+        assert cost.udp_fragments(cost.udp_mtu + 1) == 2
+        assert cost.udp_fragments(10 * cost.udp_mtu) == 10
+
+    def test_copy_cost_linear(self, cost):
+        assert cost.copy_cost(2000) == pytest.approx(2 * cost.copy_cost(1000))
+
+    def test_variant_overrides_one_field(self, cost):
+        fast = cost.variant(bandwidth=1e9)
+        assert fast.bandwidth == 1e9
+        assert fast.page_size == cost.page_size
+        # The original is untouched (frozen dataclass).
+        assert cost.bandwidth == 12.5e6
+
+    def test_frozen(self, cost):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cost.page_size = 8192
+
+
+class TestPaperEraMagnitudes:
+    """Sanity-check the constants are in the testbed's regime."""
+
+    def test_page_size_is_hp_paRISC(self, cost):
+        assert cost.page_size == 4096
+
+    def test_small_message_round_trip_sub_millisecond(self, cost):
+        one_way = cost.udp_send_cpu + cost.wire_latency + \
+            cost.wire_time(64) + cost.udp_recv_cpu
+        assert 100e-6 < one_way < 1e-3
+
+    def test_tcp_effective_throughput_below_udp(self, cost):
+        udp_per_byte = 1 / cost.bandwidth + 2 * cost.copy_byte_cpu
+        tcp_per_byte = udp_per_byte + 2 * cost.tcp_byte_cpu
+        assert tcp_per_byte > udp_per_byte
+
+    def test_mtu_holds_multiple_pages(self, cost):
+        assert cost.udp_mtu >= 2 * cost.page_size

@@ -1,0 +1,255 @@
+"""Unit tests for the deterministic virtual-time engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, EngineDeadlock, SimThread
+
+
+def run_threads(*fns, clocks=None):
+    """Spawn one thread per function, run, return the SimThreads."""
+    engine = Engine()
+    threads = []
+    for i, fn in enumerate(fns):
+        clock = clocks[i] if clocks else 0.0
+        threads.append(engine.spawn(f"t{i}", fn, clock=clock))
+    engine.run()
+    return engine, threads
+
+
+class TestBasics:
+    def test_single_thread_runs_to_completion(self):
+        engine = Engine()
+        th = engine.spawn("a", lambda: 42)
+        engine.run()
+        assert th.result == 42
+        assert th.state == "done"
+
+    def test_advance_moves_clock(self):
+        engine = Engine()
+
+        def body():
+            cur = engine._threads[0]
+            cur.advance(1.5)
+            cur.advance(0.25)
+
+        th = engine.spawn("a", body)
+        engine.run()
+        assert th.clock == pytest.approx(1.75)
+
+    def test_negative_advance_rejected(self):
+        engine = Engine()
+
+        def body():
+            engine._threads[0].advance(-1.0)
+
+        engine.spawn("a", body)
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_results_per_thread(self):
+        _, threads = run_threads(lambda: "x", lambda: "y", lambda: "z")
+        assert [t.result for t in threads] == ["x", "y", "z"]
+
+    def test_initial_clock_honoured(self):
+        engine = Engine()
+        th = engine.spawn("a", lambda: None, clock=7.0)
+        engine.run()
+        assert th.clock == 7.0
+
+
+class TestScheduling:
+    def test_smallest_clock_runs_first(self):
+        order = []
+        engine = Engine()
+
+        def make(name):
+            def body():
+                th = next(t for t in engine._threads if t.name == name)
+                order.append(name)
+                th.yield_point()
+                order.append(name)
+            return body
+
+        engine.spawn("slow", make("slow"), clock=10.0)
+        engine.spawn("fast", make("fast"), clock=1.0)
+        engine.run()
+        # fast (clock 1) runs before slow (clock 10), both times.
+        assert order == ["fast", "fast", "slow", "slow"]
+
+    def test_tie_broken_by_spawn_order(self):
+        order = []
+        engine = Engine()
+
+        def make(name):
+            def body():
+                order.append(name)
+            return body
+
+        engine.spawn("first", make("first"))
+        engine.spawn("second", make("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_events_run_before_equal_clock_threads(self):
+        order = []
+        engine = Engine()
+
+        def body():
+            th = engine._threads[0]
+            th.advance(5.0)
+            th.yield_point()
+            order.append("thread")
+
+        engine.spawn("a", body)
+        engine.post(5.0, lambda: order.append("event"))
+        engine.run()
+        assert order == ["event", "thread"]
+
+    def test_event_chain(self):
+        seen = []
+        engine = Engine()
+        engine.spawn("a", lambda: None)
+        engine.post(1.0, lambda: (seen.append(1),
+                                  engine.post(2.0, lambda: seen.append(2))))
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_events_in_time_order_regardless_of_post_order(self):
+        seen = []
+        engine = Engine()
+        engine.spawn("a", lambda: None)
+        engine.post(5.0, lambda: seen.append("late"))
+        engine.post(1.0, lambda: seen.append("early"))
+        engine.run()
+        assert seen == ["early", "late"]
+
+    def test_equal_time_events_in_post_order(self):
+        seen = []
+        engine = Engine()
+        engine.spawn("a", lambda: None)
+        for i in range(5):
+            engine.post(1.0, lambda i=i: seen.append(i))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestBlocking:
+    def test_block_until_event_unblocks(self):
+        engine = Engine()
+        log = []
+
+        def body():
+            th = engine._threads[0]
+            log.append("blocking")
+            wake = th.block("wait for event")
+            log.append(f"woke at {wake}")
+
+        th = engine.spawn("a", body)
+        engine.post(3.0, lambda: engine.unblock(th, 3.0))
+        engine.run()
+        assert log == ["blocking", "woke at 3.0"]
+        assert th.clock == 3.0
+
+    def test_wake_does_not_move_clock_backwards(self):
+        engine = Engine()
+
+        def body():
+            th = engine._threads[0]
+            th.advance(10.0)
+            th.block("wait")
+
+        th = engine.spawn("a", body)
+        engine.post(1.0, lambda: engine.unblock(th, 1.0))
+        engine.run()
+        assert th.clock == 10.0
+
+    def test_deadlock_detected(self):
+        engine = Engine()
+        engine.spawn("a", lambda: engine._threads[0].block("forever"))
+        with pytest.raises(EngineDeadlock, match="forever"):
+            engine.run()
+
+    def test_deadlock_message_names_all_blocked(self):
+        engine = Engine()
+        engine.spawn("a", lambda: engine._threads[0].block("reason-a"))
+        engine.spawn("b", lambda: engine._threads[1].block("reason-b"))
+        with pytest.raises(EngineDeadlock) as exc:
+            engine.run()
+        assert "reason-a" in str(exc.value)
+        assert "reason-b" in str(exc.value)
+
+    def test_unblock_of_running_thread_rejected(self):
+        engine = Engine()
+
+        def body():
+            engine.unblock(engine._threads[0], 1.0)
+
+        engine.spawn("a", body)
+        with pytest.raises(RuntimeError, match="non-blocked"):
+            engine.run()
+
+
+class TestFailures:
+    def test_thread_exception_propagates(self):
+        engine = Engine()
+        engine.spawn("a", lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            engine.run()
+
+    def test_other_threads_unwound_after_failure(self):
+        engine = Engine()
+        blocked = engine.spawn("b", lambda: engine._threads[0].block("x"))
+
+        def boom():
+            raise RuntimeError("boom")
+
+        engine.spawn("a", boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+        # The blocked thread's host thread must have been joined.
+        assert not blocked._host.is_alive()
+
+    def test_cannot_run_twice_concurrently(self):
+        engine = Engine()
+        engine.spawn("a", lambda: None)
+        engine.run()
+        # Second run: all threads already done; loop exits immediately.
+        engine.run()
+
+    def test_spawn_while_running_rejected(self):
+        engine = Engine()
+
+        def body():
+            engine.spawn("late", lambda: None)
+
+        engine.spawn("a", body)
+        with pytest.raises(RuntimeError, match="spawn"):
+            engine.run()
+
+    def test_negative_event_time_rejected(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.post(-1.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def one_run():
+            trace = []
+            engine = Engine()
+
+            def make(i):
+                def body():
+                    th = engine._threads[i]
+                    for step in range(5):
+                        th.advance(0.1 * ((i + step) % 3 + 1))
+                        trace.append((i, round(th.clock, 6)))
+                        th.yield_point()
+                return body
+
+            for i in range(4):
+                engine.spawn(f"t{i}", make(i))
+            engine.run()
+            return trace
+
+        assert one_run() == one_run()

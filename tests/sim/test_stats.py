@@ -1,0 +1,85 @@
+"""Unit tests for message statistics accounting."""
+
+import pytest
+
+from repro.sim.stats import Counter, MessageStats
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter()
+        c.add(3, 100)
+        c.add(2, 50)
+        assert (c.messages, c.bytes) == (5, 150)
+
+    def test_iadd(self):
+        a = Counter(1, 10)
+        a += Counter(2, 20)
+        assert (a.messages, a.bytes) == (3, 30)
+
+
+class TestMessageStats:
+    def test_record_and_total(self):
+        stats = MessageStats()
+        stats.record("tmk", "diff_request", messages=2, nbytes=100)
+        stats.record("tmk", "barrier", messages=1, nbytes=40)
+        stats.record("pvm", "user", messages=5, nbytes=500)
+        assert stats.total("tmk").messages == 3
+        assert stats.total("tmk").bytes == 140
+        assert stats.total("pvm").messages == 5
+
+    def test_by_category_sorted(self):
+        stats = MessageStats()
+        stats.record("tmk", "zeta", messages=1, nbytes=1)
+        stats.record("tmk", "alpha", messages=1, nbytes=1)
+        assert list(stats.by_category("tmk")) == ["alpha", "zeta"]
+
+    def test_get_missing_category_is_zero(self):
+        stats = MessageStats()
+        counter = stats.get("tmk", "nothing")
+        assert (counter.messages, counter.bytes) == (0, 0)
+
+    def test_negative_counts_rejected(self):
+        stats = MessageStats()
+        with pytest.raises(ValueError):
+            stats.record("tmk", "x", messages=-1, nbytes=0)
+
+    def test_pair_tracking(self):
+        stats = MessageStats()
+        stats.record("tmk", "x", messages=2, nbytes=10, src=0, dst=1)
+        stats.record("tmk", "x", messages=3, nbytes=10, src=0, dst=1)
+        stats.record("tmk", "x", messages=1, nbytes=10, src=1, dst=0)
+        assert stats.pair_messages() == {(0, 1): 5, (1, 0): 1}
+
+    def test_reset(self):
+        stats = MessageStats()
+        stats.record("tmk", "x", messages=1, nbytes=1, src=0, dst=1)
+        stats.reset()
+        assert stats.total("tmk").messages == 0
+        assert stats.pair_messages() == {}
+
+    def test_snapshot_is_independent(self):
+        stats = MessageStats()
+        stats.record("tmk", "x", messages=1, nbytes=10)
+        snap = stats.snapshot()
+        stats.record("tmk", "x", messages=5, nbytes=50)
+        assert snap.total("tmk").messages == 1
+        assert stats.total("tmk").messages == 6
+
+    def test_merge(self):
+        a = MessageStats()
+        b = MessageStats()
+        a.record("tmk", "x", messages=1, nbytes=10)
+        b.record("tmk", "x", messages=2, nbytes=20)
+        b.record("pvm", "y", messages=3, nbytes=30)
+        a.merge(b)
+        assert a.total("tmk").messages == 3
+        assert a.total("pvm").bytes == 30
+
+    def test_summary_contains_total(self):
+        stats = MessageStats()
+        stats.record("tmk", "diff_request", messages=7, nbytes=7168)
+        text = stats.summary("tmk")
+        assert "diff_request" in text
+        assert "TOTAL" in text
+        assert "7" in text

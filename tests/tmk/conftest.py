@@ -1,0 +1,22 @@
+"""Shared helpers for the TreadMarks test suite."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sim.trace import Trace
+from repro.tmk.api import TmkConfig, attach_tmk
+
+
+@pytest.fixture
+def tmk_run():
+    """Run ``fn(proc)`` on a fresh TreadMarks cluster; returns the
+    ClusterResult.  Usage: ``result = tmk_run(fn, nprocs=4)``."""
+
+    def runner(fn, nprocs=1, config=None, trace=None, cost=None):
+        cluster = Cluster(nprocs, cost=cost,
+                          trace=trace if trace is not None else Trace())
+        attach_tmk(cluster, config if config is not None
+                   else TmkConfig(segment_bytes=1 << 20))
+        return cluster.run(fn)
+
+    return runner

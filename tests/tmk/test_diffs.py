@@ -1,0 +1,195 @@
+"""Unit and property tests for run-length encoded page diffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tmk.diffs import Diff, RUN_HEADER_BYTES, WORD, coalesce, make_diff
+
+PAGE = 4096
+
+
+def page_of(fill=0):
+    return np.full(PAGE, fill, dtype=np.uint8)
+
+
+class TestMakeDiff:
+    def test_identical_pages_empty_diff(self):
+        twin = page_of(7)
+        diff = make_diff(0, twin.copy(), twin)
+        assert diff.is_empty
+        assert diff.data_bytes == 0
+        assert diff.wire_bytes == 0
+
+    def test_single_word_change(self):
+        twin = page_of()
+        cur = twin.copy()
+        cur[100] = 0xFF
+        diff = make_diff(3, cur, twin)
+        assert diff.page == 3
+        assert len(diff.runs) == 1
+        offset, data = diff.runs[0]
+        # Word granularity: the change extends to its 4-byte word.
+        assert offset == 100 - (100 % WORD)
+        assert len(data) == WORD
+
+    def test_adjacent_words_merge_into_one_run(self):
+        twin = page_of()
+        cur = twin.copy()
+        cur[0:8] = 1
+        diff = make_diff(0, cur, twin)
+        assert len(diff.runs) == 1
+        assert diff.data_bytes == 8
+
+    def test_disjoint_changes_make_separate_runs(self):
+        twin = page_of()
+        cur = twin.copy()
+        cur[0:4] = 1
+        cur[2048:2052] = 2
+        diff = make_diff(0, cur, twin)
+        assert len(diff.runs) == 2
+
+    def test_wire_bytes_include_run_headers(self):
+        twin = page_of()
+        cur = twin.copy()
+        cur[0:4] = 1
+        cur[100:104] = 2
+        diff = make_diff(0, cur, twin)
+        assert diff.wire_bytes == diff.data_bytes + 2 * RUN_HEADER_BYTES
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_diff(0, np.zeros(8, dtype=np.uint8),
+                      np.zeros(12, dtype=np.uint8))
+
+    def test_non_word_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_diff(0, np.zeros(7, dtype=np.uint8),
+                      np.zeros(7, dtype=np.uint8))
+
+
+class TestApply:
+    def test_apply_reproduces_modified_page(self):
+        rng = np.random.default_rng(1)
+        twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+        cur = twin.copy()
+        cur[10:50] = 0xAB
+        cur[4000:4096] = 0xCD
+        diff = make_diff(0, cur, twin)
+        target = twin.copy()
+        written = diff.apply(target)
+        assert np.array_equal(target, cur)
+        assert written == diff.data_bytes
+
+    def test_apply_on_unrelated_base_patches_only_runs(self):
+        twin = page_of(0)
+        cur = twin.copy()
+        cur[0:4] = 9
+        diff = make_diff(0, cur, twin)
+        other = page_of(5)
+        diff.apply(other)
+        assert other[0] == 9
+        assert other[4] == 5  # untouched bytes keep their value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, PAGE // WORD - 1), st.integers(1, 255)),
+    max_size=40))
+def test_roundtrip_property(changes):
+    """make_diff + apply reproduces any word-aligned modification."""
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    for word, value in changes:
+        cur[word * WORD: (word + 1) * WORD] = value
+    diff = make_diff(0, cur, twin)
+    target = twin.copy()
+    diff.apply(target)
+    assert np.array_equal(target, cur)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, PAGE // WORD - 1),
+                          st.integers(1, 255)), max_size=30),
+       st.lists(st.tuples(st.integers(0, PAGE // WORD - 1),
+                          st.integers(1, 255)), max_size=30))
+def test_diff_data_never_exceeds_changed_extent(a, b):
+    """The diff carries exactly the changed words (word-granular)."""
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    for word, value in a + b:
+        cur[word * WORD: (word + 1) * WORD] = value
+    diff = make_diff(0, cur, twin)
+    changed_words = np.flatnonzero(
+        cur.view(np.uint32) != twin.view(np.uint32)).size
+    assert diff.data_bytes == changed_words * WORD
+
+
+class TestCoalesce:
+    def test_later_diff_wins_overlap(self):
+        twin = page_of()
+        first = twin.copy()
+        first[0:4] = 1
+        second = twin.copy()
+        second[0:4] = 2
+        d1 = make_diff(0, first, twin)
+        d2 = make_diff(0, second, twin)
+        merged = coalesce([d1, d2])
+        target = twin.copy()
+        merged.apply(target)
+        assert target[0] == 2
+
+    def test_disjoint_diffs_union(self):
+        twin = page_of()
+        a = twin.copy()
+        a[0:4] = 1
+        b = twin.copy()
+        b[100:104] = 2
+        merged = coalesce([make_diff(0, a, twin), make_diff(0, b, twin)])
+        target = twin.copy()
+        merged.apply(target)
+        assert target[0] == 1 and target[100] == 2
+
+    def test_coalesce_never_bigger_than_sum(self):
+        twin = page_of()
+        diffs = []
+        for i in range(5):
+            cur = twin.copy()
+            cur[0:256] = i + 1  # fully overlapping (the IS pattern)
+            diffs.append(make_diff(0, cur, twin))
+        merged = coalesce(diffs)
+        assert merged.data_bytes == 256
+        assert merged.data_bytes <= sum(d.data_bytes for d in diffs)
+
+    def test_mixed_pages_rejected(self):
+        d1 = Diff(0, ((0, b"aaaa"),))
+        d2 = Diff(1, ((0, b"bbbb"),))
+        with pytest.raises(ValueError):
+            coalesce([d1, d2])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce([])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.tuples(st.integers(0, 255),
+                                   st.integers(1, 255)),
+                         min_size=1, max_size=10),
+                min_size=1, max_size=6))
+def test_coalesce_equals_sequential_application(diff_specs):
+    """Applying the coalesced diff equals applying all diffs in order."""
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    diffs = []
+    for spec in diff_specs:
+        cur = twin.copy()
+        for word, value in spec:
+            cur[word * WORD: (word + 1) * WORD] = value
+        diffs.append(make_diff(0, cur, twin))
+    sequential = twin.copy()
+    for d in diffs:
+        d.apply(sequential)
+    merged_target = twin.copy()
+    coalesce(diffs).apply(merged_target)
+    assert np.array_equal(sequential, merged_target)

@@ -1,0 +1,77 @@
+"""Unit tests for the per-processor page table."""
+
+import numpy as np
+import pytest
+
+from repro.tmk.pages import PageTable
+
+
+@pytest.fixture
+def pt():
+    return PageTable(8 * 4096, 4096)
+
+
+class TestLayout:
+    def test_page_count(self, pt):
+        assert pt.npages == 8
+        assert pt.mem.size == 8 * 4096
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            PageTable(4097, 4096)
+
+    def test_page_view_is_a_view(self, pt):
+        view = pt.page_view(2)
+        view[0] = 42
+        assert pt.mem[2 * 4096] == 42
+
+    def test_pages_for_range(self, pt):
+        assert list(pt.pages_for_range(0, 1)) == [0]
+        assert list(pt.pages_for_range(4095, 2)) == [0, 1]
+        assert list(pt.pages_for_range(4096, 4096)) == [1]
+        assert list(pt.pages_for_range(0, 3 * 4096)) == [0, 1, 2]
+        assert list(pt.pages_for_range(100, 0)) == []
+
+
+class TestValidity:
+    def test_initially_all_valid(self, pt):
+        assert all(pt.is_valid(p) for p in range(pt.npages))
+        assert pt.invalid_pages() == set()
+
+    def test_invalidate_and_validate(self, pt):
+        pt.invalidate(3)
+        assert not pt.is_valid(3)
+        assert pt.invalid_pages() == {3}
+        pt.validate(3)
+        assert pt.is_valid(3)
+
+    def test_invalidating_dirty_page_asserts(self, pt):
+        """Write notices are only processed after the interval closed."""
+        pt.make_twin(1)
+        with pytest.raises(AssertionError, match="dirty"):
+            pt.invalidate(1)
+
+
+class TestTwins:
+    def test_twin_snapshot(self, pt):
+        pt.page_view(0)[:] = 7
+        pt.make_twin(0)
+        pt.page_view(0)[:] = 9
+        assert pt.twin(0)[0] == 7
+        assert pt.page_view(0)[0] == 9
+
+    def test_double_twin_asserts(self, pt):
+        pt.make_twin(0)
+        with pytest.raises(AssertionError):
+            pt.make_twin(0)
+
+    def test_dirty_pages_sorted(self, pt):
+        for page in (5, 1, 3):
+            pt.make_twin(page)
+        assert pt.dirty_pages() == [1, 3, 5]
+
+    def test_drop_twin(self, pt):
+        pt.make_twin(2)
+        pt.drop_twin(2)
+        assert not pt.has_twin(2)
+        assert pt.dirty_pages() == []

@@ -1,0 +1,198 @@
+"""Unit tests for the shared heap and SharedArray access detection."""
+
+import numpy as np
+import pytest
+
+from repro.tmk.sharedmem import SharedHeap
+
+
+class TestSharedHeap:
+    def test_page_aligned_by_default(self):
+        heap = SharedHeap(1 << 20, 4096)
+        a = heap.malloc(100)
+        b = heap.malloc(100)
+        assert a % 4096 == 0
+        assert b % 4096 == 0
+        assert b > a
+
+    def test_custom_alignment_packs_allocations(self):
+        heap = SharedHeap(1 << 20, 4096)
+        a = heap.malloc(100, align=8)
+        b = heap.malloc(100, align=8)
+        assert b - a == 104  # rounded up to 8
+
+    def test_exhaustion(self):
+        heap = SharedHeap(8192, 4096)
+        heap.malloc(8192)
+        with pytest.raises(MemoryError):
+            heap.malloc(1)
+
+    def test_named_idempotent(self):
+        heap = SharedHeap(1 << 20, 4096)
+        a = heap.named("x", (10,), np.dtype(np.int32))
+        b = heap.named("x", (10,), np.dtype(np.int32))
+        assert a == b
+
+    def test_named_shape_conflict(self):
+        heap = SharedHeap(1 << 20, 4096)
+        heap.named("x", (10,), np.dtype(np.int32))
+        with pytest.raises(ValueError, match="redeclared"):
+            heap.named("x", (11,), np.dtype(np.int32))
+
+    def test_bad_alignment(self):
+        heap = SharedHeap(1 << 20, 4096)
+        with pytest.raises(ValueError):
+            heap.malloc(8, align=0)
+
+
+class TestSharedArrayAccess:
+    def test_write_then_read_roundtrip(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (100,), np.float64)
+            arr[slice(0, 100)] = np.arange(100.0)
+            return float(np.sum(arr.read()))
+
+        res = tmk_run(main)
+        assert res.results[0] == sum(range(100))
+
+    def test_read_returns_readonly_view(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (10,), np.int64)
+            view = arr.read()
+            try:
+                view[0] = 1
+                return "writable"
+            except ValueError:
+                return "readonly"
+
+        assert tmk_run(main).results[0] == "readonly"
+
+    def test_element_get_set(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (16,), np.int32)
+            arr.set(3, 99)
+            return int(arr.get(3))
+
+        assert tmk_run(main).results[0] == 99
+
+    def test_add_is_read_modify_write(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (4,), np.int64)
+            arr[slice(0, 4)] = [1, 2, 3, 4]
+            arr.add(slice(0, 4), 10)
+            return arr.read().tolist()
+
+        assert tmk_run(main).results[0] == [11, 12, 13, 14]
+
+    def test_2d_row_slices(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("m", (8, 16), np.float64)
+            arr[(slice(2, 4), slice(None))] = 5.0
+            return float(arr.read((slice(None), slice(None))).sum())
+
+        assert tmk_run(main).results[0] == 5.0 * 2 * 16
+
+    def test_fancy_index_write(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("m", (64, 3), np.float64)
+            idx = np.array([3, 4, 10, 60])
+            arr[(idx, slice(None))] = 1.0
+            return float(arr.read((slice(None), slice(None))).sum())
+
+        assert tmk_run(main).results[0] == 4 * 3
+
+    def test_shared_between_processors(self, tmk_run):
+        def main(proc):
+            tmk = proc.tmk
+            arr = tmk.shared_array("shared", (2048,), np.int64)
+            if tmk.pid == 0:
+                arr[slice(0, 2048)] = np.arange(2048)
+            tmk.barrier(0)
+            return int(arr.read(slice(1024, 2048)).sum())
+
+        res = tmk_run(main, nprocs=3)
+        expected = sum(range(1024, 2048))
+        assert all(r == expected for r in res.results)
+
+
+class TestTouchedRuns:
+    """The page-touch computation drives fault/twin behaviour; verify the
+    runs are exact for the access shapes the applications use."""
+
+    def _runs(self, tmk_run, shape, dtype, key):
+        def main(proc):
+            arr = proc.tmk.shared_array("r", shape, dtype)
+            return arr._touched_runs(arr._normalize(key)), arr.addr
+
+        result = tmk_run(main).results[0]
+        runs, addr = result
+        return [(start - addr, nbytes) for start, nbytes in runs]
+
+    def test_contiguous_slice_one_run(self, tmk_run):
+        runs = self._runs(tmk_run, (1024,), np.float64, slice(10, 20))
+        assert runs == [(80, 80)]
+
+    def test_full_2d_is_one_run(self, tmk_run):
+        runs = self._runs(tmk_run, (16, 16), np.float64,
+                          (slice(None), slice(None)))
+        assert runs == [(0, 16 * 16 * 8)]
+
+    def test_row_range_is_one_run(self, tmk_run):
+        runs = self._runs(tmk_run, (16, 16), np.float64,
+                          (slice(2, 5), slice(None)))
+        assert runs == [(2 * 128, 3 * 128)]
+
+    def test_column_slice_one_run_per_row(self, tmk_run):
+        runs = self._runs(tmk_run, (4, 16), np.float64,
+                          (slice(None), slice(0, 2)))
+        assert runs == [(i * 128, 16) for i in range(4)]
+
+    def test_middle_axis_slice_3d(self, tmk_run):
+        """The FFT transpose shape: B[:, ilo:ihi, :]."""
+        runs = self._runs(tmk_run, (3, 8, 4), np.float64,
+                          (slice(None), slice(2, 4), slice(None)))
+        plane = 8 * 4 * 8
+        assert runs == [(k * plane + 2 * 32, 2 * 32) for k in range(3)]
+
+    def test_adjacent_inner_runs_merge(self, tmk_run):
+        # Selecting all columns collapses the per-row runs into one.
+        runs = self._runs(tmk_run, (4, 16), np.float64,
+                          (slice(1, 3), slice(None)))
+        assert len(runs) == 1
+
+    def test_fancy_contiguous_groups(self, tmk_run):
+        runs = self._runs(tmk_run, (100, 2), np.float64,
+                          (np.array([1, 2, 3, 50, 51, 99]), slice(None)))
+        assert runs == [(16, 48), (800, 32), (1584, 16)]
+
+    def test_scalar_index_normalized(self, tmk_run):
+        runs = self._runs(tmk_run, (100,), np.float64, 7)
+        assert runs == [(56, 8)]
+
+    def test_negative_index(self, tmk_run):
+        runs = self._runs(tmk_run, (100,), np.float64, -1)
+        assert runs == [(99 * 8, 8)]
+
+    def test_empty_selection(self, tmk_run):
+        runs = self._runs(tmk_run, (100,), np.float64, slice(5, 5))
+        assert runs == []
+
+    def test_strided_write_does_not_touch_other_pages(self, tmk_run):
+        """The fix that brought 3-D FFT's traffic down: a middle-axis
+        write must not twin pages belonging to other writers' slices."""
+        def main(proc):
+            # 4 "planes" of exactly one page each.
+            arr = proc.tmk.shared_array("b", (4, 4096 // 8), np.float64)
+            arr[(slice(None), slice(0, 8))] = 1.0
+            return sorted(proc.tmk.core.pt.dirty_pages())
+
+        dirty = tmk_run(main).results[0]
+        assert dirty == [0, 1, 2, 3]  # one run per plane, 4 pages
+
+    def test_single_page_write_twins_one_page(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("b", (4, 4096 // 8), np.float64)
+            arr[(slice(1, 2), slice(None))] = 1.0
+            return sorted(proc.tmk.core.pt.dirty_pages())
+
+        assert tmk_run(main).results[0] == [1]
