@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.cluster import Cluster, ClusterResult, Processor
 from repro.sim.costmodel import CostModel
+from repro.sim.faults import FaultPlan
 from repro.sim.stats import MessageStats
 from repro.sim.trace import Trace
 from repro.tmk.api import TmkConfig, attach_tmk
@@ -151,19 +152,22 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  cost: Optional[CostModel] = None,
                  tmk_config: Optional[TmkConfig] = None,
                  pvm_route: str = "direct",
-                 trace: Optional[Trace] = None) -> ParallelResult:
+                 trace: Optional[Trace] = None,
+                 faults: Optional[FaultPlan] = None) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
     consistent IVY baseline runs the TreadMarks version of the program
-    unmodified).  Returns the application result, the measured virtual
-    time, and the message statistics.
+    unmodified).  ``faults`` installs a deterministic network fault plan
+    (and with it the user-level reliability protocol).  Returns the
+    application result, the measured virtual time, and the message
+    statistics.
     """
     spec = get_app(app) if isinstance(app, str) else app
     if system not in ("tmk", "pvm", "ivy"):
         raise ValueError(
             f"system must be 'tmk', 'pvm' or 'ivy', got {system!r}")
-    cluster = Cluster(nprocs, cost=cost, trace=trace)
+    cluster = Cluster(nprocs, cost=cost, trace=trace, faults=faults)
     if system == "tmk":
         config = tmk_config
         if config is None:

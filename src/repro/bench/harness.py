@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import base
+from repro.sim.faults import FaultPlan
 from repro.apps.barnes_hut import BhParams
 from repro.apps.ep import EpParams
 from repro.apps.fft3d import FftParams
@@ -141,14 +142,16 @@ def _seq(exp_id: str, preset: str) -> base.SeqResult:
 
 
 def run_cached(exp_id: str, system: str, nprocs: int,
-               preset: str = "bench") -> base.ParallelResult:
+               preset: str = "bench",
+               faults: Optional[FaultPlan] = None) -> base.ParallelResult:
     """One parallel run, memoized, with its result verified against the
-    sequential version (every bench run is also a correctness check)."""
-    key = (exp_id, preset, system, nprocs)
+    sequential version (every bench run is also a correctness check --
+    including lossy runs, whose results must match the fault-free ones)."""
+    key = (exp_id, preset, system, nprocs, faults)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
-                                   params_for(exp, preset))
+                                   params_for(exp, preset), faults=faults)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

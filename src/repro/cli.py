@@ -30,11 +30,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the experiment configurations")
 
+    def add_fault_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--loss-rate", type=float, default=0.0,
+                       help="probability each message/segment is dropped "
+                            "(enables the user-level reliability protocol)")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the deterministic fault schedule")
+        p.add_argument("--fault-category", default=None,
+                       help="comma-separated message categories to fault "
+                            "(default: all)")
+
     run = sub.add_parser("run", help="run one experiment configuration")
     run.add_argument("experiment", help="experiment id (fig01..fig12)")
     run.add_argument("--system", choices=("tmk", "pvm"), default="tmk")
     run.add_argument("--nprocs", type=int, default=8)
     run.add_argument("--preset", choices=("bench", "paper"), default="bench")
+    add_fault_flags(run)
 
     figure = sub.add_parser("figure", help="render one paper figure")
     figure.add_argument("experiment", help="experiment id (fig01..fig12)")
@@ -56,7 +67,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--nprocs", type=int, default=2)
     trace.add_argument("--limit", type=int, default=60,
                        help="max trace lines to print")
+    add_fault_flags(trace)
     return parser
+
+
+def fault_plan(loss_rate: float, fault_seed: int,
+               fault_category: Optional[str]):
+    """Build a :class:`~repro.sim.faults.FaultPlan` from the CLI flags
+    (``None`` when no faults were requested)."""
+    if not loss_rate:
+        return None
+    from repro.sim.faults import FaultPlan
+    categories = None
+    if fault_category:
+        categories = frozenset(c.strip() for c in fault_category.split(",")
+                               if c.strip())
+    return FaultPlan(seed=fault_seed, loss=loss_rate, categories=categories)
 
 
 # ----------------------------------------------------------------------
@@ -72,7 +98,8 @@ def cmd_list() -> str:
     return "\n".join(rows)
 
 
-def cmd_run(experiment: str, system: str, nprocs: int, preset: str) -> str:
+def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
+            faults=None) -> str:
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
     if experiment not in harness.EXPERIMENTS:
@@ -80,7 +107,8 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str) -> str:
                          f"try: {', '.join(harness.EXPERIMENTS)}")
     exp = harness.EXPERIMENTS[experiment]
     seq = harness.seq_time(experiment, preset)
-    run = harness.run_cached(experiment, system, nprocs, preset)
+    run = harness.run_cached(experiment, system, nprocs, preset,
+                             faults=faults)
     rows = [
         f"{exp.label} / {system} / {nprocs} processors ({preset} preset)",
         "",
@@ -93,6 +121,14 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str) -> str:
         "",
         run.stats.summary(system),
     ]
+    if faults is not None:
+        rel = run.stats.reliability(system)
+        rows += ["", f"fault plan: loss={faults.loss} seed={faults.seed}"]
+        for category in ("drop", "retransmit", "dup_suppress", "ack"):
+            counter = rel.get(category)
+            if counter is not None:
+                rows.append(f"  {category:<16} {counter.messages:>10d} msgs "
+                            f"{counter.bytes / 1024.0:>12.1f} KB")
     if system == "tmk":
         rows += ["", render_breakdown(exp.label, decompose(run))]
     return "\n".join(rows)
@@ -119,7 +155,7 @@ def cmd_table(which: str, preset: str) -> str:
     return tables.render_table2(preset=preset)
 
 
-def cmd_trace(app: str, nprocs: int, limit: int) -> str:
+def cmd_trace(app: str, nprocs: int, limit: int, faults=None) -> str:
     from repro.apps import base
     from repro.sim.trace import Trace
 
@@ -129,7 +165,7 @@ def cmd_trace(app: str, nprocs: int, limit: int) -> str:
                       if k.endswith("Params"))
     params = params_cls.tiny()
     trace = Trace(enabled=True)
-    base.run_parallel(spec, "tmk", nprocs, params, trace=trace)
+    base.run_parallel(spec, "tmk", nprocs, params, trace=trace, faults=faults)
     header = f"TreadMarks protocol trace: {app} (tiny preset, " \
              f"{nprocs} processors, first {limit} events)"
     return header + "\n\n" + trace.format(limit=limit)
@@ -140,13 +176,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         print(cmd_list())
     elif args.command == "run":
-        print(cmd_run(args.experiment, args.system, args.nprocs, args.preset))
+        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category)
+        print(cmd_run(args.experiment, args.system, args.nprocs, args.preset,
+                      faults=plan))
     elif args.command == "figure":
         print(cmd_figure(args.experiment, args.nprocs, args.preset))
     elif args.command in ("table1", "table2"):
         print(cmd_table(args.command, args.preset))
     elif args.command == "trace":
-        print(cmd_trace(args.app, args.nprocs, args.limit))
+        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category)
+        print(cmd_trace(args.app, args.nprocs, args.limit, faults=plan))
     return 0
 
 

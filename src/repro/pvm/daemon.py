@@ -10,6 +10,13 @@ connections to cut that overhead -- the paper uses direct connections
 The daemon-routed path is retained as a configuration (and an ablation
 benchmark) to demonstrate the overhead the paper's setup avoids: two extra
 message copies through the daemons plus a store-and-forward hop.
+
+Reliability: real pvmds implement their own positive-ACK retry protocol on
+the daemon-to-daemon UDP hop.  Here that control path rides the simulated
+network's reliable-UDP sublayer whenever a fault plan is active, giving
+exactly-once, in-order delivery between daemons (retransmission with
+backoff, duplicate suppression), so the daemon route survives injected
+loss just like the direct TCP route.
 """
 
 from __future__ import annotations

@@ -10,21 +10,28 @@ paper's physical testbed (8 HP-735 workstations on a 100 Mbit/s FDDI ring):
 * :mod:`repro.sim.cluster` -- the ``Cluster``/``Processor`` harness on which
   the TreadMarks and PVM runtimes are layered.
 * :mod:`repro.sim.costmodel` -- every timing constant in one place.
+* :mod:`repro.sim.faults` -- deterministic fault injection (drop /
+  duplicate / reorder / delay, slow nodes, crash windows) plus the
+  user-level reliability protocol parameters.
 * :mod:`repro.sim.stats` -- message/byte accounting mirroring the paper's
   Table 2 methodology.
 """
 
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, EngineDeadlock, SimAborted, SimThread
-from repro.sim.cluster import Cluster, Processor
+from repro.sim.cluster import Cluster, ClusterConfig, Processor
+from repro.sim.faults import FaultDecision, FaultPlan, TransportError
 from repro.sim.network import Network, TcpChannel, UdpChannel
 from repro.sim.stats import MessageStats, StatKey
 
 __all__ = [
     "CostModel",
     "Cluster",
+    "ClusterConfig",
     "Engine",
     "EngineDeadlock",
+    "FaultDecision",
+    "FaultPlan",
     "MessageStats",
     "Network",
     "Processor",
@@ -32,5 +39,6 @@ __all__ = [
     "SimThread",
     "StatKey",
     "TcpChannel",
+    "TransportError",
     "UdpChannel",
 ]

@@ -14,11 +14,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, SimThread
+from repro.sim.faults import FaultPlan
 from repro.sim.network import Delivery, Network
 from repro.sim.stats import MessageStats
 from repro.sim.trace import Trace
 
-__all__ = ["Cluster", "ClusterResult", "Mailbox", "Processor"]
+__all__ = ["Cluster", "ClusterConfig", "ClusterResult", "Mailbox",
+           "Processor"]
 
 _EMPTY = object()
 
@@ -172,20 +174,45 @@ class ClusterResult:
         return self.elapsed - self.measure_from
 
 
+@dataclass
+class ClusterConfig:
+    """Substrate-level configuration for one simulated cluster.
+
+    Bundles the knobs that describe the *environment* (as opposed to the
+    runtime-protocol knobs in ``TmkConfig``): the hardware cost model, the
+    fault plan for the network, protocol tracing, and the engine watchdog.
+    """
+
+    cost: Optional[CostModel] = None
+    trace: Optional[Trace] = None
+    #: Deterministic network fault schedule (None = perfect medium).
+    faults: Optional[FaultPlan] = None
+    #: Engine watchdog: max consecutive events with every thread blocked.
+    watchdog_events: int = 1_000_000
+
+
 class Cluster:
     """``nprocs`` simulated workstations on one FDDI ring."""
 
     def __init__(self, nprocs: int, cost: Optional[CostModel] = None,
-                 trace: Optional[Trace] = None) -> None:
+                 trace: Optional[Trace] = None,
+                 faults: Optional[FaultPlan] = None,
+                 config: Optional[ClusterConfig] = None) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
+        if config is None:
+            config = ClusterConfig(cost=cost, trace=trace, faults=faults)
+        self.config = config
         self.nprocs = nprocs
-        self.cost = cost if cost is not None else CostModel.paper_testbed()
-        self.trace = trace if trace is not None else Trace()
-        self.engine = Engine()
+        self.cost = (config.cost if config.cost is not None
+                     else CostModel.paper_testbed())
+        self.trace = config.trace if config.trace is not None else Trace()
+        self.faults = config.faults
+        self.engine = Engine(watchdog_events=config.watchdog_events)
         self.stats = MessageStats()
-        self.net = Network(self.engine, self.cost, self.stats)
-        self.net.attach(self._dispatch)
+        self.net = Network(self.engine, self.cost, self.stats,
+                           faults=self.faults, trace=self.trace)
+        self.net.attach(self._dispatch, self._charge_service)
         self.procs = [Processor(self, pid) for pid in range(nprocs)]
         self._measure_from = 0.0
         self._measure_until: Optional[float] = None
@@ -211,6 +238,11 @@ class Cluster:
 
     def _dispatch(self, delivery: Delivery) -> None:
         self.procs[delivery.dst].deliver(delivery)
+
+    def _charge_service(self, pid: int, dt: float) -> None:
+        """Interrupt-style CPU charge from the network's reliability layer
+        (ACK processing, timer-driven retransmission)."""
+        self.procs[pid].charge_service(dt)
 
     def run(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> ClusterResult:
         """Run ``fn(proc, *args)`` on every processor to completion."""

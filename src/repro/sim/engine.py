@@ -37,7 +37,11 @@ __all__ = ["Engine", "EngineDeadlock", "SimAborted", "SimThread"]
 
 
 class EngineDeadlock(RuntimeError):
-    """Raised when every simulated thread is blocked and no events remain."""
+    """Raised when every simulated thread is blocked and no events remain.
+
+    The message carries a per-thread dump (name, tid, state, clock, block
+    reason) so a hang can be diagnosed without a debugger.
+    """
 
 
 class SimAborted(BaseException):
@@ -163,7 +167,7 @@ class SimThread:
 class Engine:
     """Virtual-time scheduler for simulated threads and message events."""
 
-    def __init__(self) -> None:
+    def __init__(self, watchdog_events: int = 1_000_000) -> None:
         self._threads: list[SimThread] = []
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._event_seq = 0
@@ -172,6 +176,13 @@ class Engine:
         self._running = False
         #: Monotonically non-decreasing time of the last scheduled entity.
         self.horizon = 0.0
+        #: Watchdog: max consecutive events processed while every live
+        #: thread is blocked.  A protocol that spins (e.g. a reliability
+        #: layer retransmitting into a black hole) would otherwise churn
+        #: events forever instead of deadlocking; the watchdog turns that
+        #: would-be hang into an :class:`EngineDeadlock` with a thread dump.
+        self.watchdog_events = watchdog_events
+        self._blocked_events = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -201,6 +212,19 @@ class Engine:
                 f"unblock of non-blocked thread {thread.name} ({thread.state})")
         thread._wake_time = wake_time
         thread.state = _READY
+
+    @property
+    def finished(self) -> bool:
+        """True once every simulated thread has run to completion."""
+        return bool(self._threads) and all(
+            t.state == _DONE for t in self._threads)
+
+    def thread_dump(self) -> str:
+        """One line per thread: name, tid, state, clock, block reason."""
+        return "; ".join(
+            f"{t.name} tid={t.tid} state={t.state} clock={t.clock:.6f}"
+            + (f" reason={t.block_reason}" if t.block_reason else "")
+            for t in self._threads)
 
     # ------------------------------------------------------------------
     # Scheduler loop (runs in the host's calling thread)
@@ -251,18 +275,26 @@ class Engine:
 
             if next_event_time is not None and (
                     next_thread is None or next_event_time <= next_thread.clock):
+                if next_thread is None:
+                    self._blocked_events += 1
+                    if self._blocked_events > self.watchdog_events:
+                        raise EngineDeadlock(
+                            f"watchdog: {self._blocked_events} consecutive "
+                            "events processed while every thread was "
+                            f"blocked: {self.thread_dump()}")
+                else:
+                    self._blocked_events = 0
                 time, _, fn = heapq.heappop(self._events)
                 self.horizon = max(self.horizon, time)
                 fn()
                 continue
 
             if next_thread is None:
-                blocked = [t for t in self._threads if t.state == _BLOCKED]
-                detail = ", ".join(
-                    f"{t.name}@{t.clock:.6f}:{t.block_reason}" for t in blocked)
                 raise EngineDeadlock(
-                    f"all simulated threads blocked with no pending events: {detail}")
+                    "all simulated threads blocked with no pending events: "
+                    + self.thread_dump())
 
+            self._blocked_events = 0
             self.horizon = max(self.horizon, next_thread.clock)
             self._back.clear()
             next_thread.state = _RUNNING

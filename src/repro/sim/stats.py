@@ -112,6 +112,20 @@ class MessageStats:
     def pair_messages(self) -> Dict[Tuple[int, int], int]:
         return dict(self._by_pair)
 
+    def reliability(self, system: str) -> Dict[str, Counter]:
+        """The fault/reliability buckets for one system.
+
+        ``retransmit`` and ``ack`` are real wire traffic (they also appear
+        in :meth:`total`); ``drop`` and ``dup_suppress`` count events, with
+        zero bytes.  All four are empty on a fault-free run.
+        """
+        out: Dict[str, Counter] = {}
+        for category in ("drop", "retransmit", "dup_suppress", "ack"):
+            counter = self._by_key.get(StatKey(system, category))
+            if counter is not None:
+                out[category] = Counter(counter.messages, counter.bytes)
+        return out
+
     # ------------------------------------------------------------------
     def merge(self, other: "MessageStats") -> None:
         for key, counter in other._by_key.items():

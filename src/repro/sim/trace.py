@@ -5,6 +5,12 @@ from the runtime layers.  It is disabled by default (zero overhead beyond a
 boolean test) and is used by the ``protocol_trace`` example and by tests
 that assert protocol-level behaviour (e.g. "a lock release sends no
 messages").
+
+Besides the runtime-protocol kinds (``lock_acquire``, ``barrier_depart``,
+``page_fault``, ...), the network layer emits ``drop``, ``retransmit`` and
+``dup_suppress`` events when a fault plan is active, and
+``link_overcommit`` if wire-time accounting ever exceeds the elapsed
+window (``pid`` is -1 for events with no owning processor).
 """
 
 from __future__ import annotations

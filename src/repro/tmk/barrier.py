@@ -134,11 +134,14 @@ class BarrierSubsystem:
         proc.trace("barrier_depart", f"bid={bid}")
 
     def _on_departure(self, delivery: Delivery) -> None:
+        if not self._waiting:
+            # A re-delivered departure after the client already left the
+            # barrier; its contents were merged the first time.
+            self.proc.trace("dup_suppress",
+                            f"barrier_departure bid={delivery.payload.barrier}")
+            return
         self._departure = delivery.payload
         self._departure_wake = delivery.arrival + delivery.recv_cpu
-        if not self._waiting:
-            raise AssertionError(
-                f"P{self.pid}: barrier departure arrived while not waiting")
         self.proc.unblock(delivery.arrival + delivery.recv_cpu)
 
     # ------------------------------------------------------------------
@@ -169,6 +172,13 @@ class BarrierSubsystem:
         service = delivery.recv_cpu + self.cost.interrupt_cpu
         self.proc.charge_service(service)
         episode = self._episode(arrival.barrier)
+        if any(a.dedup_key() == arrival.dedup_key()
+               for a, _ in episode.arrivals):
+            # Re-delivered arrival (each processor arrives once per
+            # episode): counting it twice would release the barrier early.
+            self.proc.trace("dup_suppress",
+                            f"barrier_arrival key={arrival.dedup_key()}")
+            return
         episode.arrivals.append((arrival, delivery.arrival + service))
         if (episode.manager_arrived
                 and len(episode.arrivals) == self.nprocs - 1):

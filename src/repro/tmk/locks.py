@@ -163,8 +163,15 @@ class LockSubsystem:
         assert self.system.lock_manager(lock) == self.pid
         target = self._last_requester.get(lock, self.pid)
         if target == request.requester:
-            raise AssertionError(
-                f"P{request.requester} requested lock {lock} it still owns")
+            if charge_thread:
+                raise AssertionError(
+                    f"P{request.requester} requested lock {lock} it still owns")
+            # A re-delivered request for a lock we already routed to this
+            # requester: idempotent no-op (the original is in flight).
+            self.proc.charge_service(service)
+            self.proc.trace("dup_suppress",
+                            f"lock_request key={request.dedup_key()}")
+            return
         self._last_requester[lock] = request.requester
         if target == self.pid:
             # The manager is the end of the chain: act as holder directly.
@@ -201,6 +208,11 @@ class LockSubsystem:
                 "it neither owns nor awaits")
         if state.holding or state.awaiting or state.waiter is not None:
             if state.waiter is not None:
+                if state.waiter.dedup_key() == request.dedup_key():
+                    # Re-delivered forward of the request already queued.
+                    self.proc.trace("dup_suppress",
+                                    f"lock_forward key={request.dedup_key()}")
+                    return
                 raise AssertionError(
                     f"P{self.pid}: two waiters for lock {request.lock}")
             state.waiter = request

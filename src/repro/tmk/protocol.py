@@ -7,6 +7,12 @@ byte counts are meaningful.  Message categories (the stats buckets):
 * ``lock_request`` / ``lock_forward`` / ``lock_grant``
 * ``barrier_arrival`` / ``barrier_departure``
 * ``diff_request`` / ``diff_response``
+
+Under an active fault plan messages travel over the reliable-UDP sublayer,
+which suppresses duplicates by sequence number; the request payloads also
+expose a protocol-level ``dedup_key`` so the handlers themselves stay
+idempotent (a retransmitted lock request or barrier arrival that slips
+through is ignored rather than corrupting manager state).
 """
 
 from __future__ import annotations
@@ -65,6 +71,11 @@ class LockRequest:
     def nbytes(self, cost: "CostModel", nprocs: int) -> int:
         return cost.sync_message_bytes + cost.vector_time_bytes * nprocs
 
+    def dedup_key(self) -> Tuple[int, int]:
+        """Identity used by handlers to suppress a re-delivered request
+        (a requester has at most one acquire of a lock outstanding)."""
+        return (self.lock, self.requester)
+
 
 @dataclass
 class LockGrant:
@@ -99,6 +110,11 @@ class BarrierArrival:
     def nbytes(self, cost: "CostModel", nprocs: int) -> int:
         return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
                 + notice_bytes(self.records, cost, nprocs))
+
+    def dedup_key(self) -> Tuple[int, int]:
+        """Identity for duplicate suppression at the barrier manager
+        (each processor arrives at a given barrier episode exactly once)."""
+        return (self.barrier, self.pid)
 
 
 @dataclass
