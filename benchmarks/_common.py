@@ -11,7 +11,6 @@ TreadMarks simulation -- the heaviest unit of the sweep.
 from __future__ import annotations
 
 import os
-from typing import Sequence
 
 from repro.bench import figures, harness, paper
 

@@ -1,0 +1,69 @@
+"""Host-side cost of the DSM sanitizer on Water-288.
+
+The sanitizer is observational: it never sends a message or charges a
+virtual cost, so the *simulated* run is byte- and time-identical with it
+attached (asserted below).  What report mode does cost is host CPU -- a
+shadow-map happens-before check per SharedArray access plus per-page
+byte-set accounting.  Water is the heaviest reasonable workload for it:
+every processor updates every molecule's forces under per-molecule locks,
+so the access and synchronization streams are both dense.
+
+The report archives the measured slowdown so the DESIGN numbers stay
+honest; the assertion only bounds it loosely (host timing jitters).
+"""
+
+import time
+
+from _common import emit
+
+from repro.analysis import AnalysisConfig
+from repro.apps.base import run_parallel
+from repro.bench import harness
+
+EXP = "fig08"  # Water-288
+#: The paper's actual problem size (288 molecules), not the scaled bench
+#: preset -- the point is the overhead at a realistic access density.
+PRESET = "paper"
+NPROCS = 8
+
+
+def _timed_run(analysis=None):
+    exp = harness.EXPERIMENTS[EXP]
+    params = harness.params_for(exp, PRESET)
+    t0 = time.perf_counter()
+    run = run_parallel(exp.app, "tmk", NPROCS, params, analysis=analysis)
+    return time.perf_counter() - t0, run
+
+
+def test_sanitizer_overhead(benchmark, capsys):
+    base_host, base = _timed_run()
+    report_cfg = AnalysisConfig(race_check="report", false_sharing=True)
+    watched_host, watched = benchmark.pedantic(
+        lambda: _timed_run(report_cfg), rounds=1, iterations=1)
+
+    # Observational-only: identical simulated traffic and virtual time.
+    for system in ("tmk", "udp"):
+        b, w = base.stats.total(system), watched.stats.total(system)
+        assert (b.messages, b.bytes) == (w.messages, w.bytes)
+    assert base.time == watched.time
+
+    san = watched.sanitizer
+    overhead = watched_host / base_host
+    rows = [
+        f"Sanitizer overhead: Water-288 ({PRESET} preset, "
+        f"{NPROCS} processors, report mode)",
+        "",
+        f"  host seconds, flags off      {base_host:8.2f}",
+        f"  host seconds, report mode    {watched_host:8.2f}",
+        f"  slowdown                     {overhead:8.2f}x",
+        "",
+        f"  accesses checked             {san.accesses_checked:8d}",
+        f"  data races found             {len(san.findings):8d}",
+        f"  falsely-shared diff bytes    {san.fs.total_false_bytes():8d}",
+        "",
+        "  simulated traffic and virtual time: identical with and",
+        "  without the sanitizer (asserted).",
+    ]
+    emit(capsys, "sanitizer_overhead", "\n".join(rows))
+    assert not san.findings, "Water should be race-free under annotation"
+    assert overhead < 60, f"report-mode overhead blew up: {overhead:.1f}x"

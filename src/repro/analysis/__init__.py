@@ -1,0 +1,27 @@
+"""DSM sanitizer: dynamic race detection, false-sharing analysis, lint.
+
+Three tools that *check* the DSM programming discipline the rest of the
+repository only documents:
+
+* :mod:`repro.analysis.races` -- a dynamic happens-before race detector
+  built on the protocol's own interval vector timestamps;
+* :mod:`repro.analysis.false_sharing` -- quantifies per-page false sharing
+  and the diff bytes it costs (the paper's mechanism (c));
+* :mod:`repro.analysis.lint` -- a static AST lint for the application
+  discipline (``tools/lint_dsm.py`` is the standalone entry point).
+
+Everything here is strictly observational: with analysis disabled nothing
+is attached, and even when attached the sanitizer never charges virtual
+time or sends messages, so cost accounting is byte-identical either way.
+"""
+
+from repro.analysis.races import (AnalysisConfig, RaceError, RaceFinding,
+                                  Sanitizer, attach_sanitizer)
+
+__all__ = [
+    "AnalysisConfig",
+    "RaceError",
+    "RaceFinding",
+    "Sanitizer",
+    "attach_sanitizer",
+]

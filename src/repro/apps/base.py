@@ -13,8 +13,9 @@ The experiment flow mirrors the paper's methodology:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.races import AnalysisConfig, attach_sanitizer
 from repro.sim.cluster import Cluster, ClusterResult, Processor
 from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
@@ -96,6 +97,8 @@ class ParallelResult:
     #: Per-processor runtime endpoints (Tmk or Pvm objects), retained for
     #: post-run diagnostics (see repro.bench.analysis).
     endpoints: List[Any] = field(default_factory=list)
+    #: The run's sanitizer (repro.analysis), when one was requested.
+    sanitizer: Optional[Any] = None
 
     def total_messages(self) -> int:
         return self.stats.total(self.system).messages
@@ -153,13 +156,17 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  tmk_config: Optional[TmkConfig] = None,
                  pvm_route: str = "direct",
                  trace: Optional[Trace] = None,
-                 faults: Optional[FaultPlan] = None) -> ParallelResult:
+                 faults: Optional[FaultPlan] = None,
+                 analysis: Optional[AnalysisConfig] = None) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
     consistent IVY baseline runs the TreadMarks version of the program
     unmodified).  ``faults`` installs a deterministic network fault plan
-    (and with it the user-level reliability protocol).  Returns the
+    (and with it the user-level reliability protocol).  ``analysis``
+    attaches the DSM sanitizer (TreadMarks only: the happens-before
+    check needs the LRC synchronization events); it observes but never
+    charges, so accounting is identical with or without it.  Returns the
     application result, the measured virtual time, and the message
     statistics.
     """
@@ -167,12 +174,19 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     if system not in ("tmk", "pvm", "ivy"):
         raise ValueError(
             f"system must be 'tmk', 'pvm' or 'ivy', got {system!r}")
+    if analysis is not None and not analysis.enabled:
+        analysis = None
+    if analysis is not None and system != "tmk":
+        raise ValueError(f"the sanitizer requires system='tmk', got {system!r}")
     cluster = Cluster(nprocs, cost=cost, trace=trace, faults=faults)
+    sanitizer = None
     if system == "tmk":
         config = tmk_config
         if config is None:
             config = TmkConfig(segment_bytes=spec.segment_bytes)
-        attach_tmk(cluster, config)
+        endpoints = attach_tmk(cluster, config)
+        if analysis is not None:
+            sanitizer = attach_sanitizer(cluster, endpoints, analysis)
         main = spec.tmk_main
     elif system == "ivy":
         attach_ivy(cluster, IvyConfig(segment_bytes=spec.segment_bytes))
@@ -181,6 +195,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         attach_pvm(cluster, route=pvm_route)
         main = spec.pvm_main
     outcome = cluster.run(main, args=(params,))
+    if sanitizer is not None:
+        sanitizer.finish(outcome.stats)
     return ParallelResult(
         result=spec.collect(outcome.results),
         time=outcome.measured,
@@ -190,6 +206,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         system=system,
         endpoints=[proc.pvm if system == "pvm" else proc.tmk
                    for proc in cluster.procs],
+        sanitizer=sanitizer,
     )
 
 

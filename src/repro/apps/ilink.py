@@ -34,7 +34,7 @@ distribution, and communication pattern follow the real parallel ILINK.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

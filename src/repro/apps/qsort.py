@@ -25,7 +25,7 @@ tree; the final sorted array is verified for exact equality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

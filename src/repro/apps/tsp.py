@@ -417,7 +417,9 @@ def _tmk_get_tour(tmk, proc, state: _SharedTourState, dist: np.ndarray,
             bound, slot = entry
             path, cost = state.read_tour(slot)
             state.free_slot(slot)
-            best = int(state.best.get(0))
+            # Benign race: the bound is written under _LOCK_BEST, which
+            # this path does not hold; a stale value only weakens pruning.
+            best = int(state.best.get_racy(0))
             if bound >= best:
                 continue
             if len(path) > params.threshold:
@@ -455,8 +457,9 @@ def tmk_main(proc, params: TspParams):
         if tour is None:
             break
         path, cost = tour
-        # Prune against the possibly-stale local copy of the bound.
-        local_best = int(state.best.get(0))
+        # Prune against the possibly-stale local copy of the bound
+        # (benign race: the definitive check at the update is locked).
+        local_best = int(state.best.get_racy(0))
         nbest, ntour, nodes = recursive_solve(dist, path, cost, local_best)
         proc.compute(nodes * NODE_CPU)
         if nbest < local_best:

@@ -13,8 +13,9 @@ Runs are memoized per process so Table 2 and the figures share the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.races import AnalysisConfig
 from repro.apps import base
 from repro.sim.faults import FaultPlan
 from repro.apps.barnes_hut import BhParams
@@ -143,15 +144,19 @@ def _seq(exp_id: str, preset: str) -> base.SeqResult:
 
 def run_cached(exp_id: str, system: str, nprocs: int,
                preset: str = "bench",
-               faults: Optional[FaultPlan] = None) -> base.ParallelResult:
+               faults: Optional[FaultPlan] = None,
+               analysis: Optional[AnalysisConfig] = None) -> base.ParallelResult:
     """One parallel run, memoized, with its result verified against the
     sequential version (every bench run is also a correctness check --
     including lossy runs, whose results must match the fault-free ones)."""
-    key = (exp_id, preset, system, nprocs, faults)
+    if analysis is not None and not analysis.enabled:
+        analysis = None
+    key = (exp_id, preset, system, nprocs, faults, analysis)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
-                                   params_for(exp, preset), faults=faults)
+                                   params_for(exp, preset), faults=faults,
+                                   analysis=analysis)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

@@ -21,7 +21,7 @@ Every expectation here is evaluated against measured 8-processor runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.bench import harness
 

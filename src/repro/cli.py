@@ -45,6 +45,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--system", choices=("tmk", "pvm"), default="tmk")
     run.add_argument("--nprocs", type=int, default=8)
     run.add_argument("--preset", choices=("bench", "paper"), default="bench")
+    run.add_argument("--race-check", choices=("off", "report", "strict"),
+                     default="off",
+                     help="happens-before race detection (tmk only): "
+                          "'report' collects findings, 'strict' fails the "
+                          "run at the first race")
+    run.add_argument("--false-sharing-report", action="store_true",
+                     help="print the per-page false-sharing analysis "
+                          "(tmk only)")
     add_fault_flags(run)
 
     figure = sub.add_parser("figure", help="render one paper figure")
@@ -99,16 +107,25 @@ def cmd_list() -> str:
 
 
 def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
-            faults=None) -> str:
+            faults=None, race_check: str = "off",
+            false_sharing: bool = False) -> str:
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
     if experiment not in harness.EXPERIMENTS:
         raise SystemExit(f"unknown experiment {experiment!r}; "
                          f"try: {', '.join(harness.EXPERIMENTS)}")
+    analysis = None
+    if race_check != "off" or false_sharing:
+        if system != "tmk":
+            raise SystemExit("--race-check/--false-sharing-report require "
+                             "--system tmk")
+        from repro.analysis import AnalysisConfig
+        analysis = AnalysisConfig(race_check=race_check,
+                                  false_sharing=false_sharing)
     exp = harness.EXPERIMENTS[experiment]
     seq = harness.seq_time(experiment, preset)
     run = harness.run_cached(experiment, system, nprocs, preset,
-                             faults=faults)
+                             faults=faults, analysis=analysis)
     rows = [
         f"{exp.label} / {system} / {nprocs} processors ({preset} preset)",
         "",
@@ -131,6 +148,12 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
                             f"{counter.bytes / 1024.0:>12.1f} KB")
     if system == "tmk":
         rows += ["", render_breakdown(exp.label, decompose(run))]
+    if run.sanitizer is not None:
+        rows += ["", run.sanitizer.summary()]
+        if race_check != "off":
+            rows += ["", run.sanitizer.race_report()]
+        if false_sharing:
+            rows += ["", run.sanitizer.false_sharing_report()]
     return "\n".join(rows)
 
 
@@ -178,7 +201,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "run":
         plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category)
         print(cmd_run(args.experiment, args.system, args.nprocs, args.preset,
-                      faults=plan))
+                      faults=plan, race_check=args.race_check,
+                      false_sharing=args.false_sharing_report))
     elif args.command == "figure":
         print(cmd_figure(args.experiment, args.nprocs, args.preset))
     elif args.command in ("table1", "table2"):

@@ -12,7 +12,8 @@ Mirrors the PVM 3.3 user interface the paper uses:
 Accounting matches the paper: user-level messages and user data bytes.
 """
 
-from repro.pvm.api import Pvm, PvmError, PvmTypeMismatch, attach_pvm
+from repro.pvm.api import Pvm, PvmError, attach_pvm
+from repro.pvm.buffers import PvmTypeMismatch
 from repro.pvm.buffers import DataFormat, ReceiveBuffer, SendBuffer
 from repro.pvm.daemon import DaemonNetwork
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.pvm.buffers import DataFormat, PvmTypeMismatch, ReceiveBuffer, SendBuffer
+from repro.pvm.buffers import DataFormat, ReceiveBuffer, SendBuffer
 from repro.pvm.daemon import DaemonNetwork
 from repro.sim.network import Delivery, TcpChannel
 

@@ -15,7 +15,7 @@ paper's cluster is homogeneous and disables XDR) or the *default* format
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np

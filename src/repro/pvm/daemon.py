@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.sim.network import Delivery, Network, UdpChannel
+from repro.sim.network import UdpChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import Cluster

@@ -217,6 +217,9 @@ class Cluster:
         self._measure_from = 0.0
         self._measure_until: Optional[float] = None
         self._frozen_stats: Optional[MessageStats] = None
+        #: Host-side observers notified of measurement-window events
+        #: (e.g. the DSM sanitizer); they never affect accounting.
+        self.observers: List[Any] = []
 
     def start_measurement(self, proc: Processor) -> None:
         """Open the measured window: reset traffic stats, mark the clock.
@@ -226,6 +229,8 @@ class Cluster:
         """
         self._measure_from = proc.now
         self.stats.reset()
+        for observer in self.observers:
+            observer.on_measurement_start()
 
     def stop_measurement(self, proc: Processor) -> None:
         """Close the measured window: freeze the traffic statistics.

@@ -29,8 +29,8 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
-from typing import FrozenSet, Mapping, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Optional, Tuple
 
 __all__ = ["FaultDecision", "FaultPlan", "TransportError"]
 

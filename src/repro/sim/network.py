@@ -51,7 +51,6 @@ from repro.sim.faults import FaultPlan, TransportError
 from repro.sim.stats import MessageStats
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.cluster import Cluster
     from repro.sim.trace import Trace
 
 __all__ = [

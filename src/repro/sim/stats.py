@@ -17,7 +17,7 @@ responses, etc.) can be reported too.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Tuple
 
 __all__ = ["StatKey", "Counter", "MessageStats"]
@@ -83,6 +83,22 @@ class MessageStats:
         self._by_key[StatKey(system, category)].add(messages, nbytes)
         if src >= 0 and dst >= 0:
             self._by_pair[(src, dst)] += messages
+
+    def record_event(self, name: str, count: int) -> None:
+        """Record ``count`` occurrences of a host-side event.
+
+        Events live under the ``"analysis"`` pseudo-system with zero
+        bytes, so they never mix into any real system's wire totals
+        (``total("tmk")`` etc. are untouched).
+        """
+        if count < 0:
+            raise ValueError("negative event count")
+        self._by_key[StatKey("analysis", name)].add(count, 0)
+
+    def events(self) -> Dict[str, int]:
+        """name -> count map of recorded host-side events."""
+        return {name: counter.messages
+                for name, counter in self.by_category("analysis").items()}
 
     # ------------------------------------------------------------------
     def total(self, system: str) -> Counter:

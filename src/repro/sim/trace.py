@@ -16,7 +16,7 @@ window (``pid`` is -1 for events with no owning processor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Iterable, List
 
 __all__ = ["Trace", "TraceEvent"]
 

@@ -88,6 +88,9 @@ class BarrierSubsystem:
         if self.nprocs == 1:
             self.episodes_completed += 1
             return
+        sanitizer = self.core.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_barrier_arrive(self.pid, bid)
         if self.pid == self.manager:
             self._manager_arrive(bid, t_arrive)
         else:
@@ -95,6 +98,8 @@ class BarrierSubsystem:
         self.wait_time += proc.now - t_arrive
         self.episodes_completed += 1
         self._run_post_departure()
+        if sanitizer is not None:
+            sanitizer.on_barrier_depart(self.pid, bid)
 
     def _run_post_departure(self) -> None:
         """Execute any GC instruction the departure carried."""

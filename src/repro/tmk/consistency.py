@@ -78,6 +78,9 @@ class LrcCore:
         self.fault_wait_time = 0.0
         #: Faults avoided because a grant piggybacked the needed diffs.
         self.piggyback_hits = 0
+        #: Optional observer (repro.analysis): receives access and
+        #: diff-application events.  Never charges time or messages.
+        self.sanitizer = None
 
         self.eager = system.config.protocol == "eager"
         proc.register(CAT_DIFF_REQUEST, self._on_diff_request)
@@ -228,6 +231,8 @@ class LrcCore:
                 self.diff_cache[(iid, page)] = diff
                 self.diffs_applied += 1
                 self.diff_bytes_applied += diff.data_bytes
+                if self.sanitizer is not None:
+                    self.sanitizer.on_diff_applied(self.pid, page, diff)
                 cpu += (self.cost.diff_apply_cpu
                         + diff.data_bytes * self.cost.diff_apply_byte_cpu)
             self.proc.compute(cpu)
@@ -350,6 +355,8 @@ class LrcCore:
             self.diff_cache[(iid, page)] = diff
             self.diffs_applied += 1
             self.diff_bytes_applied += diff.data_bytes
+            if self.sanitizer is not None:
+                self.sanitizer.on_diff_applied(self.pid, page, diff)
             cpu += (self.cost.diff_apply_cpu
                     + diff.data_bytes * self.cost.diff_apply_byte_cpu)
         self.proc.compute(cpu)

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Tuple
 __all__ = [
     "IntervalId",
     "IntervalRecord",
+    "access_seen",
     "covers",
     "dominant_writers",
     "vc_max",
@@ -58,6 +59,20 @@ class IntervalRecord:
 def vc_max(a: Iterable[int], b: Iterable[int]) -> Tuple[int, ...]:
     """Component-wise maximum of two vector timestamps."""
     return tuple(max(x, y) for x, y in zip(a, b))
+
+
+def access_seen(observer_vc, creator: int, seq: int) -> bool:
+    """True if an access made in ``creator``'s (then-open) interval
+    ``seq`` happens-before the current point of a processor whose vector
+    time is ``observer_vc``.
+
+    The access is ordered iff the observer has seen interval
+    ``(creator, seq)`` *closed* -- i.e. a synchronization chain runs from
+    the end of that interval to the observer (``vc[creator] > seq``).
+    Accesses by the observer itself are ordered by program order; callers
+    handle that case (the race detector compares distinct pids only).
+    """
+    return observer_vc[creator] > seq
 
 
 def covers(record: IntervalRecord, iid: IntervalId) -> bool:

@@ -23,7 +23,7 @@ messages), matching real TreadMarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.sim.network import Delivery
@@ -106,6 +106,8 @@ class LockSubsystem:
             proc.compute(_LOCAL_LOCK_CPU)
             self.local_acquires += 1
             proc.trace("lock_acquire", f"lock={lock} local")
+            if self.core.sanitizer is not None:
+                self.core.sanitizer.on_lock_acquired(self.pid, lock)
             return
 
         box = proc.mailbox()
@@ -131,6 +133,8 @@ class LockSubsystem:
         proc.trace("lock_acquire",
                    f"lock={lock} from=P{grant.granter} "
                    f"notices={sum(len(r.pages) for r in grant.records)}")
+        if self.core.sanitizer is not None:
+            self.core.sanitizer.on_lock_acquired(self.pid, lock, grant)
 
     def release(self, lock: int) -> None:
         proc = self.proc
@@ -142,6 +146,8 @@ class LockSubsystem:
         state.holding = False
         proc.compute(_LOCAL_LOCK_CPU)
         proc.trace("lock_release", f"lock={lock}")
+        if self.core.sanitizer is not None:
+            self.core.sanitizer.on_lock_release(self.pid, lock)
         if state.waiter is not None:
             request, state.waiter = state.waiter, None
             state.owns = False
@@ -228,6 +234,8 @@ class LockSubsystem:
         grant = LockGrant(lock=request.lock, granter=self.pid,
                           vc=tuple(self.core.vc), records=records,
                           diffs=self._piggyback(records))
+        if self.core.sanitizer is not None:
+            self.core.sanitizer.on_grant_send(grant, self.pid, request.lock)
         t_free = self.core.udp.send(
             self.pid, request.requester, CAT_LOCK_GRANT,
             (request.reply, grant), grant.nbytes(self.cost, self.nprocs),

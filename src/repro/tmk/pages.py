@@ -16,7 +16,7 @@ transitions and their costs are identical.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 import numpy as np
 

@@ -198,8 +198,27 @@ class SharedArray:
     # ------------------------------------------------------------------
     def read(self, key: Any = slice(None)) -> np.ndarray:
         """Read access: faults in any invalid page, returns a read-only view."""
+        return self._read(key, racy=False)
+
+    def read_racy(self, key: Any = slice(None)) -> np.ndarray:
+        """Annotated intentionally-unsynchronized read.
+
+        Identical to :meth:`read` in faults, messages, and cost; the only
+        difference is that the race sanitizer treats it as a declared
+        benign race (e.g. TSP pruning against a possibly-stale bound) and
+        exempts it from the happens-before check.  The false-sharing
+        analyzer still records it.
+        """
+        return self._read(key, racy=True)
+
+    def _read(self, key: Any, racy: bool) -> np.ndarray:
         norm = self._normalize(key)
-        self.tmk.core.ensure_valid_runs(self._touched_runs(norm))
+        runs = self._touched_runs(norm)
+        core = self.tmk.core
+        core.ensure_valid_runs(runs)
+        sanitizer = getattr(core, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_access(core, runs, write=False, racy=racy)
         view = self._view[key]
         if isinstance(view, np.ndarray):
             view = view.view()
@@ -211,6 +230,14 @@ class SharedArray:
         value = self.read(key)
         if isinstance(value, np.ndarray):
             raise TypeError(f"get() with non-scalar index {key!r}")
+        return value
+
+    def get_racy(self, key: Any):
+        """Read one element without synchronization (annotated benign
+        race; see :meth:`read_racy`)."""
+        value = self.read_racy(key)
+        if isinstance(value, np.ndarray):
+            raise TypeError(f"get_racy() with non-scalar index {key!r}")
         return value
 
     def __getitem__(self, key: Any):
@@ -230,6 +257,9 @@ class SharedArray:
         norm = self._normalize(key)
         runs = self._touched_runs(norm)
         core = self.tmk.core
+        sanitizer = getattr(core, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_access(core, runs, write=True)
         if (getattr(core, "prefers_piecewise_writes", False)
                 and self._piecewise_write(norm, runs, values)):
             return
@@ -278,7 +308,14 @@ class SharedArray:
     def add(self, key: Any, values: Any) -> None:
         """Read-modify-write: ``self[key] += values`` with full fault checks."""
         norm = self._normalize(key)
-        self.tmk.core.ensure_writable_runs(self._touched_runs(norm))
+        runs = self._touched_runs(norm)
+        core = self.tmk.core
+        sanitizer = getattr(core, "sanitizer", None)
+        if sanitizer is not None:
+            # A read-modify-write conflicts with everything a write does
+            # (prior reads and writes alike), so one write event suffices.
+            sanitizer.on_access(core, runs, write=True)
+        core.ensure_writable_runs(runs)
         self._view[key] += values
 
     # ------------------------------------------------------------------

@@ -1,7 +1,6 @@
 """Tests for EP (Embarrassingly Parallel)."""
 
 import numpy as np
-import pytest
 
 from repro.apps import base
 from repro.apps.ep import EpParams, NUM_ANNULI, generate_block

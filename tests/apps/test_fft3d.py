@@ -1,7 +1,6 @@
 """Tests for the 3-D FFT."""
 
 import numpy as np
-import pytest
 
 from repro.apps import base
 from repro.apps.fft3d import FftParams, initial_field, slab

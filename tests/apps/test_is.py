@@ -1,7 +1,6 @@
 """Tests for IS (Integer Sort)."""
 
 import numpy as np
-import pytest
 
 from repro.apps import base
 from repro.apps.is_sort import (IsParams, all_keys, block_keys, count_keys,

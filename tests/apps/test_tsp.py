@@ -1,7 +1,5 @@
 """Tests for TSP (branch-and-bound traveling salesman)."""
 
-import numpy as np
-import pytest
 
 from repro.apps import base
 from repro.apps.tsp import (TourEngine, TspParams, distance_matrix,

@@ -1,6 +1,5 @@
 """Tests for the time-decomposition analysis module."""
 
-import numpy as np
 import pytest
 
 from repro.apps import base

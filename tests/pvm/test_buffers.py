@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pvm.buffers import (DataFormat, PvmTypeMismatch, ReceiveBuffer,
+from repro.pvm.buffers import (PvmTypeMismatch, ReceiveBuffer,
                                SendBuffer, TYPE_DTYPES)
 
 

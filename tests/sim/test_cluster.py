@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster, Mailbox
+from repro.sim.cluster import Cluster
 from repro.sim.network import UdpChannel
 from repro.sim.trace import Trace
 

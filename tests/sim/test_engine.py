@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Engine, EngineDeadlock, SimThread
+from repro.sim.engine import Engine, EngineDeadlock
 
 
 def run_threads(*fns, clocks=None):

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.cluster import Cluster
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, EngineDeadlock
-from repro.sim.faults import FaultDecision, FaultPlan, TransportError
+from repro.sim.faults import FaultPlan, TransportError
 from repro.sim.network import Link, TcpChannel, UdpChannel
 
 

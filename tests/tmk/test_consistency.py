@@ -7,7 +7,6 @@ consistency (stale reads are legal until the next acquire).
 """
 
 import numpy as np
-import pytest
 
 from repro.tmk.api import TmkConfig
 

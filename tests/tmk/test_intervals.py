@@ -1,6 +1,5 @@
 """Unit and property tests for intervals, vector time and write notices."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

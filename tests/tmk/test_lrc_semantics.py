@@ -8,7 +8,6 @@ TreadMarks execution must match a sequentially-consistent interpretation.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for the per-processor page table."""
 
-import numpy as np
 import pytest
 
 from repro.tmk.pages import PageTable

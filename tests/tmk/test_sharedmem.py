@@ -196,3 +196,152 @@ class TestTouchedRuns:
             return sorted(proc.tmk.core.pt.dirty_pages())
 
         assert tmk_run(main).results[0] == [1]
+
+
+class TestReadOnlyViews:
+    """Every path that hands out a view of shared memory must mark it
+    read-only: stores that bypass SharedArray.write() would dodge the
+    twin/diff machinery and silently never propagate."""
+
+    def _assert_readonly(self, tmk_run, reader):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (8, 8), np.float64)
+            view = reader(arr)
+            assert isinstance(view, np.ndarray)
+            return bool(view.flags.writeable)
+
+        assert tmk_run(main).results[0] is False
+
+    def test_read_full(self, tmk_run):
+        self._assert_readonly(tmk_run, lambda a: a.read())
+
+    def test_read_slice(self, tmk_run):
+        self._assert_readonly(tmk_run, lambda a: a.read(slice(1, 3)))
+
+    def test_read_2d_key(self, tmk_run):
+        self._assert_readonly(
+            tmk_run, lambda a: a.read((slice(None), slice(0, 4))))
+
+    def test_getitem(self, tmk_run):
+        self._assert_readonly(tmk_run, lambda a: a[slice(2, 5)])
+
+    def test_read_racy(self, tmk_run):
+        self._assert_readonly(tmk_run, lambda a: a.read_racy())
+
+    def test_fancy_index_copy_also_readonly(self, tmk_run):
+        self._assert_readonly(
+            tmk_run, lambda a: a.read((np.array([0, 3]), slice(None))))
+
+    def test_get_scalar_is_a_value_not_a_view(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (8,), np.float64)
+            arr.set(2, 5.0)
+            value = arr.get(2)
+            return np.isscalar(value) or np.asarray(value).ndim == 0
+
+        assert tmk_run(main).results[0]
+
+    def test_view_does_not_leak_writability_via_base(self, tmk_run):
+        def main(proc):
+            arr = proc.tmk.shared_array("a", (8,), np.float64)
+            view = arr.read()[1:3]  # derived view of the returned view
+            return bool(view.flags.writeable)
+
+        assert tmk_run(main).results[0] is False
+
+
+class TestPiecewiseWrite:
+    """Edge cases of the page-piece store path used by single-writer
+    cores (IVY).  Forced on TreadMarks here via the core preference flag
+    so the results can be compared against the atomic path's."""
+
+    def _piecewise(self, tmk_run, shape, key, values, nprocs=1):
+        def main(proc):
+            proc.tmk.core.prefers_piecewise_writes = True
+            arr = proc.tmk.shared_array("p", shape, np.float64)
+            arr[key] = values
+            return arr.read().copy()
+
+        return tmk_run(main, nprocs=nprocs).results[0]
+
+    def _atomic(self, shape, key, values):
+        ref = np.zeros(shape)
+        ref[key] = values
+        return ref
+
+    def test_contiguous_multi_page_span(self, tmk_run):
+        # 1024 doubles = 2 pages; write crosses the page boundary.
+        got = self._piecewise(tmk_run, (1024,), slice(500, 530),
+                              np.arange(30.0))
+        assert np.array_equal(got, self._atomic((1024,), slice(500, 530),
+                                                np.arange(30.0)))
+
+    def test_whole_array_spanning_pages(self, tmk_run):
+        got = self._piecewise(tmk_run, (1536,), slice(None), 7.0)
+        assert np.array_equal(got, np.full(1536, 7.0))
+
+    def test_empty_slice_is_a_no_op(self, tmk_run):
+        got = self._piecewise(tmk_run, (64,), slice(10, 10), [])
+        assert np.array_equal(got, np.zeros(64))
+
+    def test_negative_stride_falls_back(self, tmk_run):
+        key = slice(20, 4, -2)
+        values = np.arange(8.0)
+        got = self._piecewise(tmk_run, (64,), key, values)
+        assert np.array_equal(got, self._atomic((64,), key, values))
+
+    def test_positive_stride(self, tmk_run):
+        key = slice(4, 20, 2)
+        values = np.arange(8.0)
+        got = self._piecewise(tmk_run, (64,), key, values)
+        assert np.array_equal(got, self._atomic((64,), key, values))
+
+    def test_fancy_index_falls_back(self, tmk_run):
+        key = np.array([3, 1, 40])  # caller-defined order
+        values = np.array([1.0, 2.0, 3.0])
+        got = self._piecewise(tmk_run, (64,), key, values)
+        assert np.array_equal(got, self._atomic((64,), key, values))
+
+    def test_multi_dim_fancy_indexing(self, tmk_run):
+        key = (np.array([0, 2, 5]), slice(None))
+        got = self._piecewise(tmk_run, (8, 16), key, 3.0)
+        assert np.array_equal(got, self._atomic((8, 16), key, 3.0))
+
+    def test_2d_column_slice_many_runs(self, tmk_run):
+        # One run per row, rows separated by a full page.
+        key = (slice(None), slice(0, 4))
+        got = self._piecewise(tmk_run, (4, 512), key, 9.0)
+        assert np.array_equal(got, self._atomic((4, 512), key, 9.0))
+
+    def test_broadcast_scalar_across_page_boundary(self, tmk_run):
+        got = self._piecewise(tmk_run, (1024,), slice(400, 700), 2.5)
+        assert np.array_equal(got, self._atomic((1024,), slice(400, 700),
+                                                2.5))
+
+    def test_scalar_element(self, tmk_run):
+        got = self._piecewise(tmk_run, (64,), 17, 4.0)
+        assert got[17] == 4.0 and got.sum() == 4.0
+
+    def test_piecewise_on_ivy_matches_atomic_on_tmk(self, tmk_run):
+        """Integration: the same program through the real IVY piecewise
+        path produces the same memory image."""
+        from repro.ivy.api import IvyConfig, attach_ivy
+        from repro.sim.cluster import Cluster
+        from repro.sim.trace import Trace
+
+        def main(proc):
+            tmk = proc.tmk
+            arr = tmk.shared_array("p", (1024,), np.float64)
+            tmk.barrier(0)
+            lo = tmk.pid * 256
+            arr[slice(lo, lo + 256)] = float(tmk.pid + 1)
+            tmk.barrier(1)
+            return arr.read().copy()
+
+        cluster = Cluster(4, trace=Trace())
+        attach_ivy(cluster, IvyConfig(segment_bytes=1 << 20))
+        ivy_result = cluster.run(main)
+        tmk_result = tmk_run(main, nprocs=4)
+        expected = np.repeat(np.arange(1.0, 5.0), 256)
+        for got in ivy_result.results + tmk_result.results:
+            assert np.array_equal(got, expected)

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Standalone DSM application lint: ``python tools/lint_dsm.py PATH...``
+
+Runs the ``repro.analysis.lint`` checks (DSM001-DSM004: views cached
+across synchronization, writes into read-only views, shared allocation
+outside Tmk_malloc, attribute-escaping views) over the given files or
+directories and prints one diagnostic per line.  Exit status 1 if any
+finding is produced, 0 otherwise -- suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.lint import lint_paths  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lint DSM application code for synchronization-"
+                    "discipline violations (DSM001-DSM004)")
+    parser.add_argument("paths", nargs="+", type=Path,
+                        help="Python files or directories to lint")
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        if not path.exists():
+            parser.error(f"no such file or directory: {path}")
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
