@@ -16,9 +16,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.races import AnalysisConfig, attach_sanitizer
-from repro.sim.cluster import Cluster, ClusterResult, Processor
+from repro.sim.cluster import Cluster, ClusterConfig, ClusterResult, Processor
 from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
+from repro.sim.recovery import (NodeFailure, RecoveryConfig, RecoveryReport,
+                                plan_recovery)
 from repro.sim.stats import MessageStats
 from repro.sim.trace import Trace
 from repro.tmk.api import TmkConfig, attach_tmk
@@ -99,6 +101,9 @@ class ParallelResult:
     endpoints: List[Any] = field(default_factory=list)
     #: The run's sanitizer (repro.analysis), when one was requested.
     sanitizer: Optional[Any] = None
+    #: Crash-recovery ledger (None unless a recovery config was given or
+    #: the fault plan scheduled a permanent crash).
+    recovery: Optional[RecoveryReport] = None
 
     def total_messages(self) -> int:
         return self.stats.total(self.system).messages
@@ -157,7 +162,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  pvm_route: str = "direct",
                  trace: Optional[Trace] = None,
                  faults: Optional[FaultPlan] = None,
-                 analysis: Optional[AnalysisConfig] = None) -> ParallelResult:
+                 analysis: Optional[AnalysisConfig] = None,
+                 recovery: Optional[RecoveryConfig] = None) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -166,8 +172,16 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     (and with it the user-level reliability protocol).  ``analysis``
     attaches the DSM sanitizer (TreadMarks only: the happens-before
     check needs the LRC synchronization events); it observes but never
-    charges, so accounting is identical with or without it.  Returns the
-    application result, the measured virtual time, and the message
+    charges, so accounting is identical with or without it.
+
+    ``recovery`` configures checkpointing and the failure detector; it
+    defaults on (detection only) whenever the fault plan schedules a
+    permanent crash.  When a crash is detected mid-run, the run rolls
+    back and re-executes with the failed rank restarted on a spare host
+    (the deterministic simulator makes restore-and-replay equivalent to
+    a fresh run), the recovery cost is added to the measured time, and
+    the final result is bit-identical to the fault-free run.  Returns
+    the application result, the measured virtual time, and the message
     statistics.
     """
     spec = get_app(app) if isinstance(app, str) else app
@@ -178,28 +192,49 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         analysis = None
     if analysis is not None and system != "tmk":
         raise ValueError(f"the sanitizer requires system='tmk', got {system!r}")
-    cluster = Cluster(nprocs, cost=cost, trace=trace, faults=faults)
-    sanitizer = None
-    if system == "tmk":
-        config = tmk_config
-        if config is None:
-            config = TmkConfig(segment_bytes=spec.segment_bytes)
-        endpoints = attach_tmk(cluster, config)
-        if analysis is not None:
-            sanitizer = attach_sanitizer(cluster, endpoints, analysis)
-        main = spec.tmk_main
-    elif system == "ivy":
-        attach_ivy(cluster, IvyConfig(segment_bytes=spec.segment_bytes))
-        main = spec.tmk_main
-    else:
-        attach_pvm(cluster, route=pvm_route)
-        main = spec.pvm_main
-    outcome = cluster.run(main, args=(params,))
+    if recovery is None and faults is not None and faults.crash_at:
+        recovery = RecoveryConfig()
+    report = RecoveryReport() if recovery is not None else None
+    plan = faults
+    while True:
+        cluster = Cluster(nprocs, config=ClusterConfig(
+            cost=cost, trace=trace, faults=plan, recovery=recovery))
+        sanitizer = None
+        if system == "tmk":
+            config = tmk_config
+            if config is None:
+                config = TmkConfig(segment_bytes=spec.segment_bytes)
+            endpoints = attach_tmk(cluster, config)
+            if analysis is not None:
+                sanitizer = attach_sanitizer(cluster, endpoints, analysis)
+            main = spec.tmk_main
+        elif system == "ivy":
+            attach_ivy(cluster, IvyConfig(segment_bytes=spec.segment_bytes))
+            main = spec.tmk_main
+        else:
+            attach_pvm(cluster, route=pvm_route)
+            main = spec.pvm_main
+        try:
+            outcome = cluster.run(main, args=(params,))
+            break
+        except NodeFailure as failure:
+            if report is None:  # pragma: no cover - defensive
+                raise
+            # Survivors roll back to the failure's last checkpoint and
+            # re-execute; deterministically equivalent to this re-run.
+            plan = plan_recovery(failure, plan, cluster.recovery.config,
+                                 report)
     if sanitizer is not None:
         sanitizer.finish(outcome.stats)
+    time = outcome.measured
+    if report is not None and report.recoveries:
+        time += report.overhead_time
+        outcome.stats.record("recovery", "rollback",
+                             messages=report.recoveries,
+                             nbytes=report.restored_bytes)
     return ParallelResult(
         result=spec.collect(outcome.results),
-        time=outcome.measured,
+        time=time,
         stats=outcome.stats,
         cluster=outcome,
         nprocs=nprocs,
@@ -207,6 +242,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         endpoints=[proc.pvm if system == "pvm" else proc.tmk
                    for proc in cluster.procs],
         sanitizer=sanitizer,
+        recovery=report,
     )
 
 

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.races import AnalysisConfig
 from repro.apps import base
 from repro.sim.faults import FaultPlan
+from repro.sim.recovery import RecoveryConfig
 from repro.apps.barnes_hut import BhParams
 from repro.apps.ep import EpParams
 from repro.apps.fft3d import FftParams
@@ -145,18 +146,20 @@ def _seq(exp_id: str, preset: str) -> base.SeqResult:
 def run_cached(exp_id: str, system: str, nprocs: int,
                preset: str = "bench",
                faults: Optional[FaultPlan] = None,
-               analysis: Optional[AnalysisConfig] = None) -> base.ParallelResult:
+               analysis: Optional[AnalysisConfig] = None,
+               recovery: Optional[RecoveryConfig] = None) -> base.ParallelResult:
     """One parallel run, memoized, with its result verified against the
     sequential version (every bench run is also a correctness check --
-    including lossy runs, whose results must match the fault-free ones)."""
+    including lossy and crash/recovery runs, whose results must match
+    the fault-free ones)."""
     if analysis is not None and not analysis.enabled:
         analysis = None
-    key = (exp_id, preset, system, nprocs, faults, analysis)
+    key = (exp_id, preset, system, nprocs, faults, analysis, recovery)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
                                    params_for(exp, preset), faults=faults,
-                                   analysis=analysis)
+                                   analysis=analysis, recovery=recovery)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

@@ -39,6 +39,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fault-category", default=None,
                        help="comma-separated message categories to fault "
                             "(default: all)")
+        p.add_argument("--crash", action="append", type=crash_spec,
+                       default=None, metavar="NODE@TIME",
+                       help="permanently crash NODE at virtual TIME "
+                            "seconds (repeatable); the run detects the "
+                            "failure, rolls back, and re-executes")
+        p.add_argument("--checkpoint-interval", type=checkpoint_interval,
+                       default=0.0, metavar="SECONDS",
+                       help="coordinated checkpoint spacing in virtual "
+                            "seconds (0 = disabled; recovery then "
+                            "restarts from the beginning)")
 
     run = sub.add_parser("run", help="run one experiment configuration")
     run.add_argument("experiment", help="experiment id (fig01..fig12)")
@@ -79,18 +89,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def crash_spec(text: str):
+    """argparse type for ``--crash NODE@TIME``."""
+    import argparse as _argparse
+    node_s, sep, time_s = text.partition("@")
+    try:
+        if not sep:
+            raise ValueError
+        node, time = int(node_s), float(time_s)
+    except ValueError:
+        raise _argparse.ArgumentTypeError(
+            f"malformed crash spec {text!r}: expected NODE@TIME "
+            "(e.g. 2@0.5 kills node 2 at t=0.5 virtual seconds)")
+    if node < 0:
+        raise _argparse.ArgumentTypeError(
+            f"crash node must be >= 0, got {node}")
+    if time < 0:
+        raise _argparse.ArgumentTypeError(
+            f"crash time must be >= 0, got {time}")
+    return (node, time)
+
+
+def checkpoint_interval(text: str) -> float:
+    """argparse type for ``--checkpoint-interval SECONDS``."""
+    import argparse as _argparse
+    try:
+        value = float(text)
+    except ValueError:
+        raise _argparse.ArgumentTypeError(
+            f"malformed checkpoint interval {text!r}: expected a number "
+            "of virtual seconds")
+    if value < 0:
+        raise _argparse.ArgumentTypeError(
+            f"checkpoint interval must be >= 0, got {value}")
+    return value
+
+
 def fault_plan(loss_rate: float, fault_seed: int,
-               fault_category: Optional[str]):
+               fault_category: Optional[str], crash=None):
     """Build a :class:`~repro.sim.faults.FaultPlan` from the CLI flags
     (``None`` when no faults were requested)."""
-    if not loss_rate:
+    if not loss_rate and not crash:
         return None
     from repro.sim.faults import FaultPlan
     categories = None
     if fault_category:
         categories = frozenset(c.strip() for c in fault_category.split(",")
                                if c.strip())
-    return FaultPlan(seed=fault_seed, loss=loss_rate, categories=categories)
+    try:
+        return FaultPlan(seed=fault_seed, loss=loss_rate,
+                         categories=categories, crash_at=tuple(crash or ()))
+    except ValueError as exc:  # e.g. two --crash entries for one node
+        raise SystemExit(f"bad fault plan: {exc}")
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +158,8 @@ def cmd_list() -> str:
 
 def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             faults=None, race_check: str = "off",
-            false_sharing: bool = False) -> str:
+            false_sharing: bool = False,
+            checkpoint_every: float = 0.0) -> str:
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
     if experiment not in harness.EXPERIMENTS:
@@ -122,10 +173,26 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
         from repro.analysis import AnalysisConfig
         analysis = AnalysisConfig(race_check=race_check,
                                   false_sharing=false_sharing)
+    from repro.sim.recovery import NodeFailure
+    recovery = None
+    if checkpoint_every or (faults is not None and faults.crash_at):
+        from repro.sim.recovery import RecoveryConfig
+        for node, _ in (faults.crash_at if faults is not None else ()):
+            if node >= nprocs:
+                raise SystemExit(f"--crash node {node} out of range: "
+                                 f"the run has {nprocs} processors")
+        recovery = RecoveryConfig(checkpoint_interval=checkpoint_every)
     exp = harness.EXPERIMENTS[experiment]
     seq = harness.seq_time(experiment, preset)
-    run = harness.run_cached(experiment, system, nprocs, preset,
-                             faults=faults, analysis=analysis)
+    try:
+        run = harness.run_cached(experiment, system, nprocs, preset,
+                                 faults=faults, analysis=analysis,
+                                 recovery=recovery)
+    except NodeFailure as failure:
+        raise SystemExit(f"unrecoverable failure: {failure}\n"
+                         "(hint: --checkpoint-interval bounds the work "
+                         "lost per crash; multiple crashes within one "
+                         "checkpoint interval cannot be recovered)")
     rows = [
         f"{exp.label} / {system} / {nprocs} processors ({preset} preset)",
         "",
@@ -146,6 +213,20 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             if counter is not None:
                 rows.append(f"  {category:<16} {counter.messages:>10d} msgs "
                             f"{counter.bytes / 1024.0:>12.1f} KB")
+    if run.recovery is not None:
+        report = run.recovery
+        rows += ["", "crash recovery:",
+                 f"  failures recovered  {report.recoveries}"
+                 + (f" (nodes {report.failed_nodes})"
+                    if report.failed_nodes else ""),
+                 f"  detection latency   {report.detection_latency * 1e3:10.2f} ms",
+                 f"  lost work re-run    {report.lost_work:10.4f} virtual s",
+                 f"  checkpoint restore  {report.restore_time * 1e3:10.2f} ms "
+                 f"({report.restored_bytes / 1024.0:.1f} KB)",
+                 f"  total overhead      {report.overhead_time:10.4f} virtual s"]
+        for category, counter in run.stats.recovery().items():
+            rows.append(f"  {category:<18} {counter.messages:>8d} msgs "
+                        f"{counter.bytes / 1024.0:>10.1f} KB")
     if system == "tmk":
         rows += ["", render_breakdown(exp.label, decompose(run))]
     if run.sanitizer is not None:
@@ -199,16 +280,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         print(cmd_list())
     elif args.command == "run":
-        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category)
+        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category,
+                          crash=args.crash)
         print(cmd_run(args.experiment, args.system, args.nprocs, args.preset,
                       faults=plan, race_check=args.race_check,
-                      false_sharing=args.false_sharing_report))
+                      false_sharing=args.false_sharing_report,
+                      checkpoint_every=args.checkpoint_interval))
     elif args.command == "figure":
         print(cmd_figure(args.experiment, args.nprocs, args.preset))
     elif args.command in ("table1", "table2"):
         print(cmd_table(args.command, args.preset))
     elif args.command == "trace":
-        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category)
+        plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category,
+                          crash=args.crash)
         print(cmd_trace(args.app, args.nprocs, args.limit, faults=plan))
     return 0
 

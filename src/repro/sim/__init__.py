@@ -11,20 +11,27 @@ paper's physical testbed (8 HP-735 workstations on a 100 Mbit/s FDDI ring):
   the TreadMarks and PVM runtimes are layered.
 * :mod:`repro.sim.costmodel` -- every timing constant in one place.
 * :mod:`repro.sim.faults` -- deterministic fault injection (drop /
-  duplicate / reorder / delay, slow nodes, crash windows) plus the
-  user-level reliability protocol parameters.
+  duplicate / reorder / delay, slow nodes, transient partitions,
+  permanent crashes) plus the user-level reliability protocol parameters.
+* :mod:`repro.sim.recovery` -- crash recovery: lease-based failure
+  detection, coordinated checkpointing, and rollback cost accounting.
 * :mod:`repro.sim.stats` -- message/byte accounting mirroring the paper's
   Table 2 methodology.
 """
 
 from repro.sim.costmodel import CostModel
-from repro.sim.engine import Engine, EngineDeadlock, SimAborted, SimThread
+from repro.sim.engine import (Engine, EngineDeadlock, SimAborted, SimThread,
+                              ThreadKilled)
 from repro.sim.cluster import Cluster, ClusterConfig, Processor
 from repro.sim.faults import FaultDecision, FaultPlan, TransportError
 from repro.sim.network import Network, TcpChannel, UdpChannel
+from repro.sim.recovery import (Checkpoint, NodeFailure, RecoveryConfig,
+                                RecoveryManager, RecoveryReport,
+                                plan_recovery)
 from repro.sim.stats import MessageStats, StatKey
 
 __all__ = [
+    "Checkpoint",
     "CostModel",
     "Cluster",
     "ClusterConfig",
@@ -34,11 +41,17 @@ __all__ = [
     "FaultPlan",
     "MessageStats",
     "Network",
+    "NodeFailure",
     "Processor",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryReport",
     "SimAborted",
     "SimThread",
     "StatKey",
     "TcpChannel",
+    "ThreadKilled",
     "TransportError",
     "UdpChannel",
+    "plan_recovery",
 ]

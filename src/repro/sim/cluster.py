@@ -16,6 +16,7 @@ from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, SimThread
 from repro.sim.faults import FaultPlan
 from repro.sim.network import Delivery, Network
+from repro.sim.recovery import RecoveryConfig, RecoveryManager
 from repro.sim.stats import MessageStats
 from repro.sim.trace import Trace
 
@@ -187,6 +188,11 @@ class ClusterConfig:
     trace: Optional[Trace] = None
     #: Deterministic network fault schedule (None = perfect medium).
     faults: Optional[FaultPlan] = None
+    #: Failure detector / checkpoint configuration.  ``None`` still gets
+    #: a detection-only default when the fault plan schedules a permanent
+    #: crash, so a crashed run surfaces ``NodeFailure`` instead of
+    #: hanging the barrier until the watchdog trips.
+    recovery: Optional[RecoveryConfig] = None
     #: Engine watchdog: max consecutive events with every thread blocked.
     watchdog_events: int = 1_000_000
 
@@ -214,6 +220,15 @@ class Cluster:
                            faults=self.faults, trace=self.trace)
         self.net.attach(self._dispatch, self._charge_service)
         self.procs = [Processor(self, pid) for pid in range(nprocs)]
+        #: Crash/checkpoint orchestration; None when neither a recovery
+        #: config nor a permanent crash is in play (zero overhead).
+        self.recovery: Optional[RecoveryManager] = None
+        recovery_cfg = config.recovery
+        if (recovery_cfg is None and self.faults is not None
+                and self.faults.crash_at):
+            recovery_cfg = RecoveryConfig()
+        if recovery_cfg is not None:
+            self.recovery = RecoveryManager(self, recovery_cfg)
         self._measure_from = 0.0
         self._measure_until: Optional[float] = None
         self._frozen_stats: Optional[MessageStats] = None
@@ -242,7 +257,14 @@ class Cluster:
         self._frozen_stats = self.stats.snapshot()
 
     def _dispatch(self, delivery: Delivery) -> None:
-        self.procs[delivery.dst].deliver(delivery)
+        proc = self.procs[delivery.dst]
+        if proc.thread is not None and proc.thread.killed:
+            # A message sent before the destination crashed, arriving
+            # after: the dead host processes nothing.
+            self.trace.record(delivery.arrival, delivery.dst, "drop",
+                              f"dead node, category={delivery.category}")
+            return
+        proc.deliver(delivery)
 
     def _charge_service(self, pid: int, dt: float) -> None:
         """Interrupt-style CPU charge from the network's reliability layer
@@ -254,7 +276,11 @@ class Cluster:
         for proc in self.procs:
             proc.thread = self.engine.spawn(
                 f"P{proc.pid}", (lambda p=proc: fn(p, *args)))
+        if self.recovery is not None:
+            self.recovery.install()
         self.engine.run()
+        if self.recovery is not None:
+            self.recovery.finalize()
         finish = [proc.thread.clock for proc in self.procs]
         elapsed = max(finish)
         if self._measure_until is not None:

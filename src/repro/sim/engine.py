@@ -33,7 +33,8 @@ import heapq
 import threading
 from typing import Any, Callable, Optional
 
-__all__ = ["Engine", "EngineDeadlock", "SimAborted", "SimThread"]
+__all__ = ["Engine", "EngineDeadlock", "SimAborted", "SimThread",
+           "ThreadKilled"]
 
 
 class EngineDeadlock(RuntimeError):
@@ -49,6 +50,16 @@ class SimAborted(BaseException):
 
     Derives from ``BaseException`` so that application-level ``except
     Exception`` blocks cannot swallow the abort.
+    """
+
+
+class ThreadKilled(SimAborted):
+    """Injected into one simulated thread when its node crashes.
+
+    Unlike a plain abort this is not an error of the simulation: the
+    thread unwinds and is marked done (it produced no result), while the
+    rest of the cluster keeps running -- exactly like a workstation
+    dropping off the network mid-run.
     """
 
 
@@ -81,6 +92,7 @@ class SimThread:
         "result",
         "exception",
         "_wake_time",
+        "_killed",
     )
 
     def __init__(self, engine: "Engine", tid: int, name: str, clock: float,
@@ -96,6 +108,7 @@ class SimThread:
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self._wake_time: float = clock
+        self._killed = False
         self._host = threading.Thread(
             target=self._bootstrap, name=f"sim:{name}", daemon=True)
 
@@ -138,6 +151,8 @@ class SimThread:
         self._go.clear()
         if self.engine._aborting:
             raise SimAborted()
+        if self._killed:
+            raise ThreadKilled()
         self.state = _RUNNING
 
     def block(self, reason: str) -> float:
@@ -153,11 +168,23 @@ class SimThread:
         self._go.clear()
         if self.engine._aborting:
             raise SimAborted()
+        if self._killed:
+            raise ThreadKilled()
         self.state = _RUNNING
         self.block_reason = None
         if self._wake_time > self.clock:
             self.clock = self._wake_time
         return self.clock
+
+    @property
+    def done(self) -> bool:
+        """True once this thread has run (or been unwound) to completion."""
+        return self.state == _DONE
+
+    @property
+    def killed(self) -> bool:
+        """True if this thread was (or is being) killed by a node crash."""
+        return self._killed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SimThread {self.name} tid={self.tid} state={self.state} "
@@ -212,6 +239,21 @@ class Engine:
                 f"unblock of non-blocked thread {thread.name} ({thread.state})")
         thread._wake_time = wake_time
         thread.state = _READY
+
+    def kill(self, thread: SimThread, wake_time: float) -> bool:
+        """Kill one simulated thread (node crash) at virtual ``wake_time``.
+
+        The thread unwinds with :class:`ThreadKilled` at its next runtime
+        operation; the rest of the simulation keeps running.  Returns
+        ``False`` (and does nothing) if the thread already finished --
+        a crash scheduled after completion is a no-op.
+        """
+        if thread.state == _DONE:
+            return False
+        thread._killed = True
+        if thread.state == _BLOCKED:
+            self.unblock(thread, wake_time)
+        return True
 
     @property
     def finished(self) -> bool:

@@ -5,7 +5,10 @@ raw UDP with a light-weight user-level reliability protocol, and PVM over
 kernel TCP.  Neither medium is lossless in reality, so the simulator can
 interpose a :class:`FaultPlan` between the transports and the FDDI ring
 that drops, duplicates, reorders, and delays traffic -- plus per-node
-"slow node" handicaps and transient "crash window" partitions.
+"slow node" handicaps, *transient partitions* (a node unreachable for a
+bounded window, then back), and *permanent crashes* (a node dies at a
+virtual time and never returns; see :mod:`repro.sim.recovery` for the
+failure detector and rollback machinery built on top).
 
 Determinism
 -----------
@@ -78,8 +81,9 @@ class FaultPlan:
     #: Hold-back applied to reordered messages (a few frame times).
     reorder_delay: float = 1e-3
     #: Restrict probabilistic faults to these message categories
-    #: (``None`` = every category).  Crash windows and slow nodes always
-    #: apply: a dead or slow host does not discriminate by payload.
+    #: (``None`` = every category).  Partitions, permanent crashes, and
+    #: slow nodes always apply: a dead, unreachable, or slow host does
+    #: not discriminate by payload.
     categories: Optional[FrozenSet[str]] = None
     #: Restrict probabilistic faults to one sender / receiver.
     src: Optional[int] = None
@@ -88,9 +92,21 @@ class FaultPlan:
     window: Optional[Tuple[float, float]] = None
     #: node -> extra per-message latency whenever that node sends/receives.
     slow_nodes: Tuple[Tuple[int, float], ...] = ()
-    #: (node, t0, t1): all traffic to or from ``node`` is dropped while
-    #: t0 <= send time < t1 (a transient crash / partition).
+    #: Transient partitions, ``(node, t0, t1)``: every message whose *send
+    #: time* ``t`` satisfies ``t0 <= t < t1`` (``t1`` exclusive: a send at
+    #: exactly ``t1`` goes through) is dropped, symmetrically -- both
+    #: traffic *from* the partitioned node and traffic *to* it.  The node
+    #: itself keeps computing and comes back at ``t1``; for a node that
+    #: dies and never returns use :attr:`crash_at` instead.
     crash_windows: Tuple[Tuple[int, float, float], ...] = ()
+    #: Permanent crashes, ``(node, t)``: at virtual time ``t`` the node's
+    #: process dies -- its simulated thread is killed at its next runtime
+    #: operation and every message sent at ``time >= t`` to or from it is
+    #: dropped, forever.  At most one entry per node.  Requires the
+    #: cluster's recovery layer (installed automatically) to turn the
+    #: resulting silence into a :class:`~repro.sim.recovery.NodeFailure`
+    #: instead of a watchdog hang.
+    crash_at: Tuple[Tuple[int, float], ...] = ()
 
     # -- user-level reliability protocol parameters ---------------------
     #: Initial retransmit timeout for the UDP reliability sublayer.
@@ -120,6 +136,29 @@ class FaultPlan:
             object.__setattr__(self, "slow_nodes",
                                tuple(sorted(self.slow_nodes.items())))
         object.__setattr__(self, "_slow", dict(self.slow_nodes))
+        for node, t0, t1 in self.crash_windows:
+            if node < 0:
+                raise ValueError(f"transient partition node must be >= 0, "
+                                 f"got {node}")
+            if not 0.0 <= t0 < t1:
+                raise ValueError(
+                    f"transient partition window must satisfy 0 <= t0 < t1, "
+                    f"got ({t0!r}, {t1!r})")
+        if isinstance(self.crash_at, Mapping):
+            object.__setattr__(self, "crash_at",
+                               tuple(sorted(self.crash_at.items())))
+        else:
+            object.__setattr__(self, "crash_at",
+                               tuple(sorted(self.crash_at)))
+        seen = set()
+        for node, t in self.crash_at:
+            if node < 0 or t < 0.0:
+                raise ValueError(
+                    f"crash spec must be (node >= 0, time >= 0), "
+                    f"got ({node!r}, {t!r})")
+            if node in seen:
+                raise ValueError(f"node {node} has more than one crash time")
+            seen.add(node)
 
     # ------------------------------------------------------------------
     @property
@@ -130,12 +169,30 @@ class FaultPlan:
         their fault-free fast path and accounting stays byte-identical.
         """
         return bool(self.loss or self.duplicate or self.reorder
-                    or self.delay or self.slow_nodes or self.crash_windows)
+                    or self.delay or self.slow_nodes or self.crash_windows
+                    or self.crash_at)
 
     # ------------------------------------------------------------------
+    def crash_time(self, node: int) -> Optional[float]:
+        """The virtual time at which ``node`` dies, or ``None``."""
+        for crashed, t in self.crash_at:
+            if crashed == node:
+                return t
+        return None
+
+    def without_crash(self, node: int) -> "FaultPlan":
+        """A copy of the plan with ``node``'s permanent crash removed
+        (the failed rank has been restarted on a spare host)."""
+        from dataclasses import replace
+        return replace(self, crash_at=tuple(
+            (n, t) for n, t in self.crash_at if n != node))
+
     def _crashed(self, node: int, now: float) -> bool:
         for crashed, t0, t1 in self.crash_windows:
             if crashed == node and t0 <= now < t1:
+                return True
+        for crashed, t in self.crash_at:
+            if crashed == node and now >= t:
                 return True
         return False
 

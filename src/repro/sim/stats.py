@@ -128,6 +128,16 @@ class MessageStats:
     def pair_messages(self) -> Dict[Tuple[int, int], int]:
         return dict(self._by_pair)
 
+    def recovery(self) -> Dict[str, Counter]:
+        """The crash-recovery buckets (``heartbeat``, ``marker``,
+        ``checkpoint``, ``rollback``).
+
+        They live under the ``"recovery"`` pseudo-system so the paper's
+        per-system wire totals stay untouched; all empty on a run with no
+        crashes scheduled and checkpointing disabled.
+        """
+        return self.by_category("recovery")
+
     def reliability(self, system: str) -> Dict[str, Counter]:
         """The fault/reliability buckets for one system.
 

@@ -71,8 +71,10 @@ class BarrierSubsystem:
         self._gc_every = system.config.gc_every
         self._episode_count = 0
         self._gc_floor_next: Optional[Tuple[int, ...]] = None
-        #: Client-side instructions from the last departure.
-        self._post_departure: Tuple[bool, Optional[Tuple[int, ...]]] = (False, None)
+        #: Client-side instructions from the last departure:
+        #: (validate_all, drop_below floor, write a checkpoint).
+        self._post_departure: Tuple[bool, Optional[Tuple[int, ...]], bool] = (
+            False, None, False)
         proc.register(CAT_BARRIER_ARRIVAL, self._on_arrival)
         proc.register(CAT_BARRIER_DEPARTURE, self._on_departure)
 
@@ -102,14 +104,16 @@ class BarrierSubsystem:
             sanitizer.on_barrier_depart(self.pid, bid)
 
     def _run_post_departure(self) -> None:
-        """Execute any GC instruction the departure carried."""
-        validate, floor = self._post_departure
-        self._post_departure = (False, None)
+        """Execute any GC/checkpoint instruction the departure carried."""
+        validate, floor, checkpoint = self._post_departure
+        self._post_departure = (False, None, False)
         if validate:
             self.core.validate_all_pending()
             self.gc_runs += 1
         if floor is not None:
             self.core.drop_below(floor)
+        if checkpoint:
+            self.proc.cluster.recovery.tmk_write_checkpoint(self.proc)
 
     # ------------------------------------------------------------------
     # Client side
@@ -135,7 +139,8 @@ class BarrierSubsystem:
             proc.set_now(self._departure_wake)
         self.core.merge(departure.records, departure.vc)
         self._last_barrier_vc = departure.vc
-        self._post_departure = (departure.validate_all, departure.drop_below)
+        self._post_departure = (departure.validate_all, departure.drop_below,
+                                departure.checkpoint)
         proc.trace("barrier_depart", f"bid={bid}")
 
     def _on_departure(self, delivery: Delivery) -> None:
@@ -212,17 +217,26 @@ class BarrierSubsystem:
             for arrival, _ in arrivals:
                 floor = [min(a, b) for a, b in zip(floor, arrival.vc)]
             self._gc_floor_next = tuple(floor)
+        # Crash recovery: the manager decides at release time whether this
+        # episode opens a coordinated checkpoint (the departure is a
+        # consistent cut -- all intervals closed and merged here).
+        recovery = self.proc.cluster.recovery
+        checkpoint = (recovery is not None
+                      and recovery.tmk_checkpoint_due(t_release))
+        if checkpoint:
+            recovery.note_checkpoint(t_release)
         t = t_release
         for arrival, _ in arrivals:
             records = self.core.records_since(arrival.vc)
             departure = BarrierDeparture(barrier=bid, vc=tuple(self.core.vc),
                                          records=records,
                                          validate_all=validate_all,
-                                         drop_below=drop)
+                                         drop_below=drop,
+                                         checkpoint=checkpoint)
             t = self.core.udp.send(
                 self.pid, arrival.pid, CAT_BARRIER_DEPARTURE, departure,
                 departure.nbytes(self.cost, self.nprocs), t_ready=t)
         # The manager follows the same instructions locally.
-        self._post_departure = (validate_all, drop)
+        self._post_departure = (validate_all, drop, checkpoint)
         del self._episodes[bid]
         return t

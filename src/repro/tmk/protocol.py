@@ -130,6 +130,12 @@ class BarrierDeparture:
     #: and interval records may be discarded.
     validate_all: bool = False
     drop_below: Tuple[int, ...] = None  # type: ignore[assignment]
+    #: Crash-recovery orchestration: this departure opens a coordinated
+    #: checkpoint -- every processor snapshots its state right after
+    #: leaving the barrier (the cut is consistent there; DESIGN.md 5d).
+    #: Rides the existing departure like the GC instructions, one flag,
+    #: no extra wire bytes.
+    checkpoint: bool = False
 
     def nbytes(self, cost: "CostModel", nprocs: int) -> int:
         return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs

@@ -40,6 +40,12 @@ class SharedHeap:
         self._next = 0
         self._named: Dict[str, Tuple[int, Tuple[int, ...], np.dtype]] = {}
 
+    @property
+    def used(self) -> int:
+        """Allocation watermark: bytes of the segment handed out so far
+        (what a checkpoint of the shared state has to cover)."""
+        return self._next
+
     def malloc(self, nbytes: int, align: int | None = None) -> int:
         """Allocate ``nbytes``; page-aligned by default.
 

@@ -34,6 +34,36 @@ class TestParser:
             ["figure", "fig03", "--nprocs", "1,8"])
         assert args.nprocs == "1,8"
 
+    def test_crash_spec_parses(self):
+        args = build_parser().parse_args(
+            ["run", "fig01", "--crash", "1@0.5", "--crash", "2@1.5"])
+        assert args.crash == [(1, 0.5), (2, 1.5)]
+
+    @pytest.mark.parametrize("bad", ["1", "@0.5", "1@", "x@0.5", "1@y",
+                                     "-1@0.5", "1@-0.5"])
+    def test_crash_spec_rejects_malformed(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig01", "--crash", bad])
+        assert "crash" in capsys.readouterr().err
+
+    def test_checkpoint_interval_parses(self):
+        args = build_parser().parse_args(
+            ["run", "fig01", "--checkpoint-interval", "0.25"])
+        assert args.checkpoint_interval == 0.25
+
+    @pytest.mark.parametrize("bad", ["-0.1", "soon"])
+    def test_checkpoint_interval_rejects(self, bad, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig01", "--checkpoint-interval", bad])
+        assert "checkpoint interval" in capsys.readouterr().err
+
+    def test_trace_accepts_crash_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "sor", "--crash", "1@0.5",
+             "--checkpoint-interval", "0.1"])
+        assert args.crash == [(1, 0.5)]
+
 
 class TestCommands:
     def test_list_mentions_all_experiments(self):
@@ -71,3 +101,48 @@ class TestCommands:
     def test_main_dispatch(self, tiny_ep, capsys):
         assert main(["list"]) == 0
         assert "fig01" in capsys.readouterr().out
+
+
+class TestCrashRecoveryCommands:
+    def test_run_with_crash_prints_recovery_summary(self, tiny_ep):
+        from repro.cli import fault_plan
+        plan = fault_plan(0.0, 0, None, crash=[(1, 0.005)])
+        text = cmd_run("fig01", "tmk", 2, "bench", faults=plan,
+                       checkpoint_every=0.01)
+        assert "crash recovery:" in text
+        assert "failures recovered  1" in text
+        assert "detection latency" in text
+        assert "total overhead" in text
+        # Stats come from the final (recovered) execution: it checkpoints
+        # and charges the rollback, but schedules no crash -> no heartbeat.
+        assert "checkpoint" in text
+        assert "rollback" in text
+
+    def test_crash_node_out_of_range(self, tiny_ep):
+        from repro.cli import fault_plan
+        plan = fault_plan(0.0, 0, None, crash=[(7, 0.005)])
+        with pytest.raises(SystemExit, match="out of range"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=plan)
+
+    def test_duplicate_crash_node_rejected(self):
+        from repro.cli import fault_plan
+        with pytest.raises(SystemExit, match="bad fault plan"):
+            fault_plan(0.0, 0, None, crash=[(1, 0.5), (1, 0.7)])
+
+    def test_checkpointing_without_crash_runs_clean(self, tiny_ep):
+        text = cmd_run("fig01", "tmk", 2, "bench", checkpoint_every=0.01)
+        assert "speedup" in text
+        assert "crash recovery:" in text
+        assert "failures recovered  0" in text
+
+    def test_unrecoverable_double_crash_aborts_cleanly(self, tiny_ep):
+        from repro.cli import fault_plan
+        plan = fault_plan(0.0, 0, None, crash=[(0, 0.004), (1, 0.005)])
+        with pytest.raises(SystemExit, match="unrecoverable failure"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=plan)
+
+    def test_main_run_with_crash_flags(self, tiny_ep, capsys):
+        assert main(["run", "fig01", "--nprocs", "2",
+                     "--crash", "1@0.005",
+                     "--checkpoint-interval", "0.01"]) == 0
+        assert "crash recovery:" in capsys.readouterr().out

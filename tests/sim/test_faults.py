@@ -89,6 +89,63 @@ class TestFaultPlanDecisions:
                                             categories=frozenset({"m"}),
                                             slow_nodes={0: 1e-3}))
 
+    def test_transient_partition_boundaries(self):
+        # [t0, t1): inclusive start, exclusive end, symmetric drop.
+        plan = FaultPlan(crash_windows=((1, 0.5, 1.0),))
+        assert plan.decide(1, 0, "m", seq=0, attempt=0, now=0.5).drop
+        assert plan.decide(0, 1, "m", seq=0, attempt=0, now=0.5).drop
+        assert not plan.decide(1, 0, "m", seq=0, attempt=0, now=1.0).drop
+        assert not plan.decide(0, 1, "m", seq=0, attempt=0, now=1.0).drop
+
+    def test_transient_partition_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_windows=((-1, 0.0, 1.0),))
+        with pytest.raises(ValueError):
+            FaultPlan(crash_windows=((0, 1.0, 1.0),))  # empty window
+        with pytest.raises(ValueError):
+            FaultPlan(crash_windows=((0, 2.0, 1.0),))  # inverted
+
+
+class TestPermanentCrashes:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="more than one crash time"):
+            FaultPlan(crash_at=((1, 0.5), (1, 0.7)))
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at=((-1, 0.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(crash_at=((1, -0.5),))
+
+    def test_mapping_normalization_and_hash(self):
+        a = FaultPlan(crash_at={2: 0.5, 1: 0.25})
+        b = FaultPlan(crash_at=((1, 0.25), (2, 0.5)))
+        assert a.crash_at == b.crash_at
+        assert hash(a) == hash(b)
+
+    def test_active(self):
+        assert FaultPlan(crash_at=((0, 0.0),)).active
+        assert not FaultPlan().active
+
+    def test_crash_time_lookup(self):
+        plan = FaultPlan(crash_at=((1, 0.25), (2, 0.5)))
+        assert plan.crash_time(1) == 0.25
+        assert plan.crash_time(2) == 0.5
+        assert plan.crash_time(0) is None
+
+    def test_without_crash(self):
+        plan = FaultPlan(loss=0.1, crash_at=((1, 0.25), (2, 0.5)))
+        survivor = plan.without_crash(1)
+        assert survivor.crash_at == ((2, 0.5),)
+        assert survivor.loss == 0.1  # the rest of the plan is preserved
+        assert plan.crash_at == ((1, 0.25), (2, 0.5))  # original untouched
+
+    def test_permanent_drop_is_inclusive_and_forever(self):
+        plan = FaultPlan(crash_at=((1, 0.5),))
+        assert not plan.decide(1, 0, "m", seq=0, attempt=0, now=0.499).drop
+        assert plan.decide(1, 0, "m", seq=0, attempt=0, now=0.5).drop
+        assert plan.decide(0, 1, "m", seq=0, attempt=0, now=0.5).drop
+        assert plan.decide(0, 1, "m", seq=0, attempt=0, now=1e9).drop
+        assert not plan.decide(0, 2, "m", seq=0, attempt=0, now=1e9).drop
+
 
 # ----------------------------------------------------------------------
 def _lossy_cluster(plan, nprocs=2):
