@@ -1,0 +1,54 @@
+"""Host-time overhead of the observability layer.
+
+Observability is a pure observer of the simulation, so the question is
+not whether it perturbs results (it cannot; the determinism tests prove
+it) but what it costs in *host* time.  The contract: a Water-288 run
+with full spans and profiling enabled stays within 1.3x of the plain
+run.  The instrumented hot paths pay one pointer test when obs is off,
+so the plain run itself is the no-regression guard for the seed.
+"""
+
+import time
+
+from _common import PRESET, emit
+
+from repro.apps import base
+from repro.bench import harness
+from repro.obs import ObsConfig
+
+#: Lenient bound: host timing on shared CI runners is noisy.
+MAX_OVERHEAD = 1.3
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_span_overhead_water288(benchmark, capsys):
+    exp = harness.EXPERIMENTS["fig08"]
+    params = harness.params_for(exp, PRESET)
+    obs = ObsConfig(timeline=True, profile=True)
+
+    def plain():
+        return base.run_parallel(exp.app, "tmk", 8, params)
+
+    def observed():
+        return base.run_parallel(exp.app, "tmk", 8, params, obs=obs)
+
+    plain()  # warm caches (imports, numpy JIT-ish first-touch costs)
+    benchmark.pedantic(observed, rounds=1, iterations=1)
+    t_plain = _best_of(plain)
+    t_observed = _best_of(observed)
+    ratio = t_observed / t_plain
+    emit(capsys, "obs_overhead",
+         f"observability overhead (Water-288, tmk, 8 procs, {PRESET}):\n"
+         f"  plain     {t_plain * 1e3:8.1f} ms host\n"
+         f"  observed  {t_observed * 1e3:8.1f} ms host\n"
+         f"  ratio     {ratio:8.2f}x (bound {MAX_OVERHEAD}x)")
+    assert ratio <= MAX_OVERHEAD, (
+        f"span overhead {ratio:.2f}x exceeds {MAX_OVERHEAD}x")

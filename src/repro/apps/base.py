@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.races import AnalysisConfig, attach_sanitizer
+from repro.obs.core import ObsConfig
 from repro.sim.cluster import Cluster, ClusterConfig, ClusterResult, Processor
 from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
@@ -104,6 +105,11 @@ class ParallelResult:
     #: Crash-recovery ledger (None unless a recovery config was given or
     #: the fault plan scheduled a permanent crash).
     recovery: Optional[RecoveryReport] = None
+    #: Span timeline (repro.obs.Timeline) when ObsConfig.timeline was on.
+    timeline: Optional[Any] = None
+    #: Time-attribution profiler (repro.obs.TimeProfiler) when
+    #: ObsConfig.profile was on; feed to repro.obs.build_profile.
+    profiler: Optional[Any] = None
 
     def total_messages(self) -> int:
         return self.stats.total(self.system).messages
@@ -163,7 +169,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  trace: Optional[Trace] = None,
                  faults: Optional[FaultPlan] = None,
                  analysis: Optional[AnalysisConfig] = None,
-                 recovery: Optional[RecoveryConfig] = None) -> ParallelResult:
+                 recovery: Optional[RecoveryConfig] = None,
+                 obs: Optional[ObsConfig] = None) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -192,13 +199,15 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         analysis = None
     if analysis is not None and system != "tmk":
         raise ValueError(f"the sanitizer requires system='tmk', got {system!r}")
+    if obs is not None and not obs.enabled:
+        obs = None
     if recovery is None and faults is not None and faults.crash_at:
         recovery = RecoveryConfig()
     report = RecoveryReport() if recovery is not None else None
     plan = faults
     while True:
         cluster = Cluster(nprocs, config=ClusterConfig(
-            cost=cost, trace=trace, faults=plan, recovery=recovery))
+            cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs))
         sanitizer = None
         if system == "tmk":
             config = tmk_config
@@ -243,6 +252,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                    for proc in cluster.procs],
         sanitizer=sanitizer,
         recovery=report,
+        timeline=cluster.obs.timeline if cluster.obs is not None else None,
+        profiler=cluster.obs.profiler if cluster.obs is not None else None,
     )
 
 

@@ -55,6 +55,8 @@ class Experiment:
     paper_params: Any
     #: Short description of the problem size, for Table 1's size column.
     size_note: str
+    #: Seconds-scale parameterization for smoke/golden-trace tests.
+    tiny_params: Any = None
 
 
 EXPERIMENTS: Dict[str, Experiment] = {}
@@ -66,40 +68,52 @@ def _add(exp: Experiment) -> None:
 
 _add(Experiment("fig01", "EP", "ep", 1,
                 EpParams.bench(), EpParams.paper(),
-                "2^{log2_pairs} Gaussian pairs"))
+                "2^{log2_pairs} Gaussian pairs",
+                tiny_params=EpParams.tiny()))
 _add(Experiment("fig02", "SOR-Zero", "sor", 2,
                 SorParams.bench(), SorParams.paper(),
-                "{rows} x 2x{width} doubles, zero interior"))
+                "{rows} x 2x{width} doubles, zero interior",
+                tiny_params=SorParams.tiny()))
 _add(Experiment("fig03", "SOR-NonZero", "sor", 3,
                 SorParams.bench(nonzero=True), SorParams.paper(nonzero=True),
-                "{rows} x 2x{width} doubles, nonzero"))
+                "{rows} x 2x{width} doubles, nonzero",
+                tiny_params=SorParams.tiny(nonzero=True)))
 _add(Experiment("fig04", "IS-Small", "is", 4,
                 IsParams.bench_small(), IsParams.paper_small(),
-                "N=2^{log2_keys}, Bmax=2^{log2_bmax}"))
+                "N=2^{log2_keys}, Bmax=2^{log2_bmax}",
+                tiny_params=IsParams.tiny()))
 _add(Experiment("fig05", "IS-Large", "is", 5,
                 IsParams.bench_large(), IsParams.paper_large(),
-                "N=2^{log2_keys}, Bmax=2^{log2_bmax}"))
+                "N=2^{log2_keys}, Bmax=2^{log2_bmax}",
+                tiny_params=IsParams.tiny(large=True)))
 _add(Experiment("fig06", "TSP", "tsp", 6,
                 TspParams.bench(), TspParams.paper(),
-                "{ncities} cities, threshold {threshold}"))
+                "{ncities} cities, threshold {threshold}",
+                tiny_params=TspParams.tiny()))
 _add(Experiment("fig07", "QSORT", "qsort", 7,
                 QsortParams.bench(), QsortParams.paper(),
-                "{nkeys} integers, bubble threshold {threshold}"))
+                "{nkeys} integers, bubble threshold {threshold}",
+                tiny_params=QsortParams.tiny()))
 _add(Experiment("fig08", "Water-288", "water", 8,
                 WaterParams.bench_288(), WaterParams.paper_288(),
-                "{nmol} molecules, {steps} steps"))
+                "{nmol} molecules, {steps} steps",
+                tiny_params=WaterParams.tiny()))
 _add(Experiment("fig09", "Water-1728", "water", 9,
                 WaterParams.bench_1728(), WaterParams.paper_1728(),
-                "{nmol} molecules, {steps} steps"))
+                "{nmol} molecules, {steps} steps",
+                tiny_params=WaterParams(nmol=125, steps=2)))
 _add(Experiment("fig10", "Barnes-Hut", "barnes_hut", 10,
                 BhParams.bench(), BhParams.paper(),
-                "{nbodies} bodies, {steps} steps"))
+                "{nbodies} bodies, {steps} steps",
+                tiny_params=BhParams.tiny()))
 _add(Experiment("fig11", "3D-FFT", "fft3d", 11,
                 FftParams.bench(), FftParams.paper(),
-                "{n1}x{n2}x{n3} complex, {iterations} iterations"))
+                "{n1}x{n2}x{n3} complex, {iterations} iterations",
+                tiny_params=FftParams.tiny()))
 _add(Experiment("fig12", "ILINK", "ilink", 12,
                 IlinkParams.bench(), IlinkParams.paper(),
-                "synthetic CLP-like pedigree, {families} families"))
+                "synthetic CLP-like pedigree, {families} families",
+                tiny_params=IlinkParams.tiny()))
 
 
 def params_for(exp: Experiment, preset: str = "bench") -> Any:
@@ -107,6 +121,10 @@ def params_for(exp: Experiment, preset: str = "bench") -> Any:
         return exp.bench_params
     if preset == "paper":
         return exp.paper_params
+    if preset == "tiny":
+        if exp.tiny_params is None:
+            raise ValueError(f"{exp.exp_id} has no tiny parameterization")
+        return exp.tiny_params
     raise ValueError(f"unknown preset {preset!r}")
 
 
@@ -147,19 +165,23 @@ def run_cached(exp_id: str, system: str, nprocs: int,
                preset: str = "bench",
                faults: Optional[FaultPlan] = None,
                analysis: Optional[AnalysisConfig] = None,
-               recovery: Optional[RecoveryConfig] = None) -> base.ParallelResult:
+               recovery: Optional[RecoveryConfig] = None,
+               obs: Optional[ObsConfig] = None) -> base.ParallelResult:
     """One parallel run, memoized, with its result verified against the
     sequential version (every bench run is also a correctness check --
     including lossy and crash/recovery runs, whose results must match
     the fault-free ones)."""
     if analysis is not None and not analysis.enabled:
         analysis = None
-    key = (exp_id, preset, system, nprocs, faults, analysis, recovery)
+    if obs is not None and not obs.enabled:
+        obs = None
+    key = (exp_id, preset, system, nprocs, faults, analysis, recovery, obs)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
                                    params_for(exp, preset), faults=faults,
-                                   analysis=analysis, recovery=recovery)
+                                   analysis=analysis, recovery=recovery,
+                                   obs=obs)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

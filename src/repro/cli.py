@@ -6,7 +6,12 @@ Commands::
     run EXP [options]          one simulated run, with stats + breakdown
     figure EXP [options]       a paper figure (speedup curves)
     table1 / table2 [options]  the paper's tables
-    trace APP [options]        a traced TreadMarks run (protocol timeline)
+    trace APP [options]        a traced TreadMarks run (protocol timeline);
+                               ``--perfetto OUT.json`` exports a Chrome/
+                               Perfetto trace of the same run
+    profile EXP [options]      span-based time attribution: where each
+                               processor's time went, and (TreadMarks) how
+                               much each of the paper's four mechanisms cost
 
 Everything prints to stdout; all commands accept ``--preset paper`` for
 the paper's full problem sizes (slow).
@@ -85,7 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--nprocs", type=int, default=2)
     trace.add_argument("--limit", type=int, default=60,
                        help="max trace lines to print")
+    trace.add_argument("--perfetto", metavar="OUT.json", default=None,
+                       help="also write the run's span timeline as "
+                            "Chrome/Perfetto trace-event JSON (open with "
+                            "ui.perfetto.dev or chrome://tracing)")
     add_fault_flags(trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="time-attribution profile (compute/wire/protocol/stalls "
+             "per processor, plus TreadMarks mechanism costs)")
+    profile.add_argument("experiment",
+                         help="experiment id (fig01..fig12) or 'all'")
+    profile.add_argument("--system", choices=("tmk", "pvm", "both"),
+                         default="both")
+    profile.add_argument("--nprocs", type=int, default=8)
+    profile.add_argument("--preset", choices=("tiny", "bench", "paper"),
+                         default="tiny")
     return parser
 
 
@@ -259,7 +280,8 @@ def cmd_table(which: str, preset: str) -> str:
     return tables.render_table2(preset=preset)
 
 
-def cmd_trace(app: str, nprocs: int, limit: int, faults=None) -> str:
+def cmd_trace(app: str, nprocs: int, limit: int, faults=None,
+              perfetto: Optional[str] = None) -> str:
     from repro.apps import base
     from repro.sim.trace import Trace
 
@@ -269,10 +291,52 @@ def cmd_trace(app: str, nprocs: int, limit: int, faults=None) -> str:
                       if k.endswith("Params"))
     params = params_cls.tiny()
     trace = Trace(enabled=True)
-    base.run_parallel(spec, "tmk", nprocs, params, trace=trace, faults=faults)
+    obs = None
+    if perfetto is not None:
+        from repro.obs import ObsConfig
+        obs = ObsConfig(timeline=True)
+    run = base.run_parallel(spec, "tmk", nprocs, params, trace=trace,
+                            faults=faults, obs=obs)
     header = f"TreadMarks protocol trace: {app} (tiny preset, " \
              f"{nprocs} processors, first {limit} events)"
-    return header + "\n\n" + trace.format(limit=limit)
+    text = header + "\n\n" + trace.format(limit=limit)
+    if perfetto is not None:
+        from repro.obs import write_chrome_trace
+        write_chrome_trace(run.timeline, perfetto,
+                           label=f"{app} tmk x{nprocs}")
+        text += (f"\n\nPerfetto trace "
+                 f"({len(run.timeline.events)} events) -> {perfetto}")
+    return text
+
+
+def cmd_profile(experiment: str, system: str, nprocs: int,
+                preset: str) -> str:
+    from repro.bench import harness
+    from repro.obs import ObsConfig, build_profile, render_profile
+    if experiment == "all":
+        exp_ids = list(harness.EXPERIMENTS)
+    elif experiment in harness.EXPERIMENTS:
+        exp_ids = [experiment]
+    else:
+        raise SystemExit(f"unknown experiment {experiment!r}; "
+                         f"try: all, {', '.join(harness.EXPERIMENTS)}")
+    systems = ("tmk", "pvm") if system == "both" else (system,)
+    obs = ObsConfig(profile=True)
+    sections = []
+    for exp_id in exp_ids:
+        exp = harness.EXPERIMENTS[exp_id]
+        for sysname in systems:
+            analysis = None
+            if sysname == "tmk":
+                # The false-sharing tracker feeds the mechanism breakdown.
+                from repro.analysis import AnalysisConfig
+                analysis = AnalysisConfig(false_sharing=True)
+            run = harness.run_cached(exp_id, sysname, nprocs, preset,
+                                     analysis=analysis, obs=obs)
+            profile = build_profile(
+                run, label=f"{exp.label} ({preset}, {nprocs} procs)")
+            sections.append(render_profile(profile))
+    return "\n\n".join(sections)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -293,7 +357,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "trace":
         plan = fault_plan(args.loss_rate, args.fault_seed, args.fault_category,
                           crash=args.crash)
-        print(cmd_trace(args.app, args.nprocs, args.limit, faults=plan))
+        print(cmd_trace(args.app, args.nprocs, args.limit, faults=plan,
+                        perfetto=args.perfetto))
+    elif args.command == "profile":
+        print(cmd_profile(args.experiment, args.system, args.nprocs,
+                          args.preset))
     return 0
 
 

@@ -1,0 +1,161 @@
+"""Chrome/Perfetto trace-event export.
+
+Maps a :class:`~repro.obs.timeline.Timeline` onto the Chrome trace-
+event JSON format (the ``{"traceEvents": [...]}`` object form), which
+both ``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* timeline ``B``/``E``/``X`` phases map one-to-one (Chrome uses the
+  same letters); timeline ``I`` becomes a thread-scoped ``i`` instant;
+* virtual seconds become microsecond ``ts``/``dur`` values;
+* each simulated processor is one *thread* of a single *process*, so
+  nested spans render as a flame graph per processor; network-level
+  events (``pid == -1``) get their own track.
+
+A ring-capped timeline can open with orphan ``E`` events (their ``B``
+was dropped) or close with unmatched ``B`` events (a crashed thread's
+spans); the exporter demotes the former to instants and synthesizes
+closing ``E`` events for the latter, so the output always balances --
+a property :func:`validate_chrome_trace` checks along with the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.timeline import Timeline
+
+__all__ = ["to_chrome_trace", "validate_chrome_trace", "write_chrome_trace"]
+
+#: Track id used for events that belong to no processor (network level).
+_NET_TID = 1000
+
+_VALID_PHASES = {"B", "E", "X", "i", "M"}
+
+
+def _tid(pid: int) -> int:
+    return _NET_TID if pid < 0 else pid
+
+
+def to_chrome_trace(timeline: Timeline, label: str = "repro") -> Dict[str, Any]:
+    """Render the timeline as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = []
+    open_spans: Dict[int, List[Dict[str, Any]]] = {}
+    tids_seen: Dict[int, bool] = {}
+    max_ts = 0.0
+    for ev in timeline.events:
+        tid = _tid(ev.pid)
+        tids_seen[tid] = True
+        ts = ev.time * 1e6
+        max_ts = max(max_ts, ts + (ev.dur * 1e6 if ev.phase == "X" else 0.0))
+        out: Dict[str, Any] = {
+            "name": ev.kind,
+            "cat": "sim",
+            "ph": ev.phase,
+            "ts": ts,
+            "pid": 1,
+            "tid": tid,
+        }
+        if ev.detail:
+            out["args"] = {"detail": ev.detail}
+        if ev.phase == "B":
+            open_spans.setdefault(tid, []).append(out)
+        elif ev.phase == "E":
+            stack = open_spans.get(tid)
+            if not stack:
+                # Orphan end (its begin fell off the ring): demote to an
+                # instant so the viewer still shows the edge.
+                out["ph"] = "i"
+                out["s"] = "t"
+                out["name"] = out["name"] or "span_end"
+            else:
+                begun = stack.pop()
+                # Chrome matches B/E by nesting, but a name makes the
+                # slice readable in the Perfetto track list.
+                out["name"] = begun["name"]
+        elif ev.phase == "X":
+            out["dur"] = ev.dur * 1e6
+        elif ev.phase == "I":
+            out["ph"] = "i"
+            out["s"] = "t"
+        events.append(out)
+    # Close anything still open (crashed threads, truncated runs).
+    for tid, stack in open_spans.items():
+        for begun in reversed(stack):
+            events.append({"name": begun["name"], "cat": "sim", "ph": "E",
+                           "ts": max_ts, "pid": 1, "tid": tid})
+    meta: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0, "ts": 0,
+        "args": {"name": label},
+    }]
+    for tid in sorted(tids_seen):
+        name = "network" if tid == _NET_TID else f"P{tid}"
+        meta.append({"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+                     "ts": 0, "args": {"name": name}})
+        meta.append({"name": "thread_sort_index", "ph": "M", "pid": 1,
+                     "tid": tid, "ts": 0, "args": {"sort_index": tid}})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro simulator", "dropped_events":
+                      timeline.dropped_events},
+    }
+
+
+def write_chrome_trace(timeline: Timeline, path: str,
+                       label: str = "repro") -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(timeline, label), fh, indent=1)
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Check ``obj`` against the Chrome trace-event schema.
+
+    Returns a list of human-readable problems (empty = valid).  Covers
+    the object form, the required per-event fields, phase-specific
+    requirements (``dur`` on ``X``), and B/E balance per track.
+    """
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    depth: Dict[Any, int] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: missing non-negative 'ts'")
+        if ph in ("B", "X", "i", "M") and not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event needs non-negative 'dur'")
+        if ph == "i" and ev.get("s") not in (None, "t", "p", "g"):
+            errors.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        track = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            depth[track] = depth.get(track, 0) - 1
+            if depth[track] < 0:
+                errors.append(f"{where}: E without matching B on track "
+                              f"{track}")
+                depth[track] = 0
+    for track, d in sorted(depth.items()):
+        if d > 0:
+            errors.append(f"track {track}: {d} unclosed B event(s)")
+    return errors

@@ -1,0 +1,132 @@
+"""Span-based event timeline.
+
+The flat :class:`repro.sim.trace.Trace` answers "what happened"; the
+:class:`Timeline` answers "when, for how long, and inside what".  It
+records four phases, mirroring the Chrome trace-event model so export
+is a straight mapping:
+
+* ``B`` / ``E`` -- begin/end of a nested span on one processor's track
+  (``page_fault`` -> ``diff_request`` -> ``wire`` -> ``diff_apply``,
+  ``lock_acquire``, ``barrier``, ``pvm_recv``, ...);
+* ``X`` -- a *complete* span whose duration is known at record time
+  (wire occupancy, handler service windows);
+* ``I`` -- an instant event (``forward_hop``, ``thread_done``, ...).
+
+Recording is append-only and host-side: the timeline never charges
+virtual time or messages, so a run with spans enabled is accounting-
+identical to one without.  An optional ring-buffer ``cap`` bounds
+memory on long runs: the oldest events are discarded and counted in
+:attr:`Timeline.dropped_events`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Timeline", "TimelineEvent"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One recorded phase transition.
+
+    ``dur`` is meaningful only for ``X`` (complete) events; ``pid`` is
+    -1 for events with no owning processor (network-level events).
+    """
+
+    phase: str  # "B", "E", "X", or "I"
+    time: float
+    pid: int
+    kind: str
+    detail: str = ""
+    dur: float = 0.0
+
+    def __str__(self) -> str:
+        extra = f" dur={self.dur * 1e6:.1f}us" if self.phase == "X" else ""
+        return (f"[{self.time * 1e3:10.3f} ms] P{self.pid} {self.phase} "
+                f"{self.kind:<14}{extra} {self.detail}")
+
+
+@dataclass
+class Timeline:
+    """Ordered span/instant event log for one simulated run."""
+
+    enabled: bool = True
+    #: Ring-buffer cap: keep at most this many events, dropping the
+    #: oldest (``None`` = unbounded).
+    cap: Optional[int] = None
+    events: List[TimelineEvent] = field(default_factory=list)
+    #: Events discarded because of :attr:`cap`.
+    dropped_events: int = 0
+
+    def _append(self, event: TimelineEvent) -> None:
+        if self.cap is not None and len(self.events) >= self.cap:
+            overflow = len(self.events) - self.cap + 1
+            del self.events[:overflow]
+            self.dropped_events += overflow
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(self, time: float, pid: int, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self._append(TimelineEvent("B", time, pid, kind, detail))
+
+    def end(self, time: float, pid: int, kind: str = "", detail: str = "") -> None:
+        if self.enabled:
+            self._append(TimelineEvent("E", time, pid, kind, detail))
+
+    def complete(self, time: float, dur: float, pid: int, kind: str,
+                 detail: str = "") -> None:
+        if self.enabled:
+            self._append(TimelineEvent("X", time, pid, kind, detail, dur))
+
+    def instant(self, time: float, pid: int, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self._append(TimelineEvent("I", time, pid, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, *kinds: str) -> List[TimelineEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def spans(self, pid: Optional[int] = None) -> List[Tuple[TimelineEvent,
+                                                             TimelineEvent]]:
+        """Matched (begin, end) pairs, innermost-first per processor."""
+        stacks: Dict[int, List[TimelineEvent]] = {}
+        out: List[Tuple[TimelineEvent, TimelineEvent]] = []
+        for event in self.events:
+            if pid is not None and event.pid != pid:
+                continue
+            if event.phase == "B":
+                stacks.setdefault(event.pid, []).append(event)
+            elif event.phase == "E":
+                stack = stacks.get(event.pid)
+                if stack:
+                    out.append((stack.pop(), event))
+        return out
+
+    def kind_counts(self) -> Dict[str, int]:
+        """``kind -> number of events`` (begins and completes and
+        instants count; ends do not, so a span counts once)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            if event.phase != "E":
+                out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def digest(self) -> Dict[str, int]:
+        """Compact fingerprint used by the golden-trace tests."""
+        out = dict(sorted(self.kind_counts().items()))
+        out["__events__"] = len(self.events) + self.dropped_events
+        out["__dropped__"] = self.dropped_events
+        return out
+
+    def format(self, limit: Optional[int] = None) -> str:
+        events: Iterable[TimelineEvent] = (
+            self.events if limit is None else self.events[:limit])
+        return "\n".join(str(e) for e in events)

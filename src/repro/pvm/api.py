@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from repro.obs.core import B_PROTOCOL, B_STALL_DATA, B_WIRE
 from repro.pvm.buffers import DataFormat, ReceiveBuffer, SendBuffer
 from repro.pvm.daemon import DaemonNetwork
 from repro.sim.network import Delivery, TcpChannel
@@ -114,12 +115,20 @@ class Pvm:
         proc = self.proc
         cost = proc.cluster.cost
         proc.yield_point()
+        obs = proc.obs
         # Packing cost: one copy of the user data plus per-item overhead,
         # tripled per byte if XDR conversion is enabled.
         pack_cpu = cost.copy_cost(nbytes) + nitems * cost.pack_item_cpu
         if fmt is DataFormat.XDR:
             pack_cpu += nbytes * _XDR_BYTE_CPU
+        if obs is not None:
+            obs.begin(proc.now, proc.pid, "pack", B_PROTOCOL,
+                      f"{nbytes}B tag={tag}")
         proc.compute(pack_cpu)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
+            obs.begin(proc.now, proc.pid, "send", B_WIRE,
+                      f"->P{dest} tag={tag} {nbytes}B")
         payload = (segments, fmt)
         if self.route == "direct":
             t_free = self._tcp.send(proc.pid, dest, _CATEGORY,
@@ -130,6 +139,8 @@ class Pvm:
                                            (tag, payload), nbytes,
                                            t_ready=proc.now)
         proc.set_now(t_free)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
 
     # ------------------------------------------------------------------
     # Receiving
@@ -165,12 +176,21 @@ class Pvm:
         """Blocking receive (pvm_recv); wildcards with ``-1``."""
         proc = self.proc
         proc.yield_point()
+        obs = proc.obs
+        if obs is not None:
+            # PVM's sync-vs-data ambiguity in one span: whether this wait
+            # is for a result or a go-ahead, it all lands in stall_data.
+            obs.begin(proc.now, proc.pid, "pvm_recv", B_STALL_DATA,
+                      f"src={src} tag={tag}")
         msg = self._take(src, tag)
         while msg is None:
             self._wait_spec = (src, tag)
             proc.block(f"pvm_recv(src={src}, tag={tag})")
             msg = self._take(src, tag)
-        return self._consume(msg)
+        buf = self._consume(msg)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
+        return buf
 
     def nrecv(self, src: int = -1, tag: int = -1) -> Optional[ReceiveBuffer]:
         """Non-blocking receive (pvm_nrecv): ``None`` if nothing matched."""
@@ -193,7 +213,13 @@ class Pvm:
         unpack_cpu = msg.recv_cpu
         if msg.fmt is DataFormat.XDR:
             unpack_cpu += msg.nbytes * _XDR_BYTE_CPU
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, proc.pid, "unpack", B_PROTOCOL,
+                      f"src=P{msg.src} tag={msg.tag} {msg.nbytes}B")
         proc.compute(unpack_cpu)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
         return ReceiveBuffer(msg.segments, msg.src, msg.tag, msg.fmt)
 
     # ------------------------------------------------------------------

@@ -75,6 +75,10 @@ class DaemonNetwork:
         receive-side loopback hop) is charged through an inflated
         ``recv_cpu`` on the final delivery.
         """
+        obs = self.cluster.obs
+        if obs is not None:
+            obs.instant(t_ready, src, "daemon_forward",
+                        f"->P{dst} {nbytes}B")
         t = t_ready + self.route_cost(nbytes)
         self._udp.send(src, dst, category, payload, nbytes, t_ready=t)
         return t

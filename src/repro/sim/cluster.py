@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.core import Obs, ObsConfig
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, SimThread
 from repro.sim.faults import FaultPlan
@@ -75,6 +76,13 @@ class Processor:
         #: Runtime attachment points, set by the TreadMarks / PVM layers.
         self.tmk: Any = None
         self.pvm: Any = None
+        #: Observability facade (repro.obs), or None when disabled; the
+        #: runtime layers test this pointer before recording anything.
+        self.obs: Optional[Obs] = None
+        #: Direct reference to the time profiler (None unless profiling):
+        #: the clock primitives below are the simulator's hottest path, so
+        #: they skip the facade and pay one attribute test when obs is off.
+        self._profiler: Any = None
 
     # ------------------------------------------------------------------
     # Virtual time (app-thread side)
@@ -90,12 +98,17 @@ class Processor:
             raise ValueError(
                 f"P{self.pid}: clock may not move backwards "
                 f"({self.thread.clock} -> {t})")
+        dt = t - self.thread.clock
         self.thread.clock = t
+        if self._profiler is not None:
+            self._profiler.on_advance(self.pid, dt)
 
     def compute(self, dt: float) -> None:
         """Charge ``dt`` virtual seconds of local computation."""
         assert self.thread is not None
         self.thread.advance(dt)
+        if self._profiler is not None:
+            self._profiler.on_advance(self.pid, dt)
 
     def yield_point(self) -> None:
         """Let every causally-earlier event/thread run first."""
@@ -123,6 +136,8 @@ class Processor:
         if dt < 0:
             raise ValueError("negative service charge")
         self.thread.clock += dt
+        if self._profiler is not None:
+            self._profiler.on_service(self.pid, dt)
 
     def register(self, category: str, handler: Callable[[Delivery], None]) -> None:
         if category in self._handlers:
@@ -193,6 +208,9 @@ class ClusterConfig:
     #: crash, so a crashed run surfaces ``NodeFailure`` instead of
     #: hanging the barrier until the watchdog trips.
     recovery: Optional[RecoveryConfig] = None
+    #: Observability: span timeline and/or time-attribution profiler
+    #: (``None`` or all-off = the historical zero-overhead paths).
+    obs: Optional[ObsConfig] = None
     #: Engine watchdog: max consecutive events with every thread blocked.
     watchdog_events: int = 1_000_000
 
@@ -220,6 +238,15 @@ class Cluster:
                            faults=self.faults, trace=self.trace)
         self.net.attach(self._dispatch, self._charge_service)
         self.procs = [Processor(self, pid) for pid in range(nprocs)]
+        #: Observability facade; None unless the config enables it.
+        self.obs: Optional[Obs] = None
+        if config.obs is not None and config.obs.enabled:
+            self.obs = Obs.from_config(config.obs, nprocs, self.cost)
+            for proc in self.procs:
+                proc.obs = self.obs
+                proc._profiler = self.obs.profiler
+            self.net.obs = self.obs
+            self.engine.obs = self.obs
         #: Crash/checkpoint orchestration; None when neither a recovery
         #: config nor a permanent crash is in play (zero overhead).
         self.recovery: Optional[RecoveryManager] = None
@@ -246,6 +273,8 @@ class Cluster:
         self.stats.reset()
         for observer in self.observers:
             observer.on_measurement_start()
+        if self.obs is not None:
+            self.obs.on_measurement_start(self.procs, proc.now)
 
     def stop_measurement(self, proc: Processor) -> None:
         """Close the measured window: freeze the traffic statistics.
@@ -282,6 +311,8 @@ class Cluster:
         if self.recovery is not None:
             self.recovery.finalize()
         finish = [proc.thread.clock for proc in self.procs]
+        if self.obs is not None:
+            self.obs.finalize(finish)
         elapsed = max(finish)
         if self._measure_until is not None:
             elapsed = self._measure_until

@@ -128,6 +128,10 @@ class SimThread:
             self.exception = exc
         finally:
             self.state = _DONE
+            obs = self.engine.obs
+            if obs is not None:
+                obs.instant(self.clock, self.tid,
+                            "thread_killed" if self._killed else "thread_done")
             self.engine._back.set()
 
     # ------------------------------------------------------------------
@@ -201,6 +205,9 @@ class Engine:
         self._back = threading.Event()
         self._aborting = False
         self._running = False
+        #: Observability facade (repro.obs.core.Obs) or None; set by the
+        #: cluster so thread lifecycle events land on the timeline.
+        self.obs: Optional[Any] = None
         #: Monotonically non-decreasing time of the last scheduled entity.
         self.horizon = 0.0
         #: Watchdog: max consecutive events processed while every live

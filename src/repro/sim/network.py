@@ -172,6 +172,9 @@ class Network:
         #: Active fault plan, or None for the perfect fault-free medium.
         self.faults = faults if faults is not None and faults.active else None
         self.trace = trace
+        #: Observability facade (repro.obs.core.Obs) or None; set by the
+        #: cluster so transmissions appear as complete wire spans.
+        self.obs: Optional[Any] = None
         self._deliver: Optional[Callable[[Delivery], None]] = None
         #: Optional interrupt-style CPU charge hook: (pid, seconds) -> None.
         self._charge: Optional[Callable[[int, float], None]] = None
@@ -279,6 +282,10 @@ class Network:
         t_fire = t + rto
         self.engine.post(t_fire,
                          lambda tf=t_fire: self._udp_retransmit(pending, tf))
+        if self.obs is not None and not verdict.drop:
+            self.obs.wire(t_ready, last_arrival - t_ready, pending.src,
+                          f"{pending.category}->P{pending.dst} "
+                          f"{pending.nbytes}B")
         return t
 
     def _udp_retransmit(self, pending: _PendingSend, t_fire: float) -> None:
@@ -402,6 +409,10 @@ class UdpChannel:
         self.net.stats.record(self.system, category,
                               messages=fragments, nbytes=wire_bytes,
                               src=src, dst=dst)
+        obs = self.net.obs
+        if obs is not None:
+            obs.wire(t_ready, last_arrival - t_ready, src,
+                     f"{category}->P{dst} {nbytes}B")
         self.net._post_delivery(Delivery(
             src=src, dst=dst, category=category, payload=payload,
             user_bytes=nbytes, arrival=last_arrival,
@@ -447,6 +458,10 @@ class TcpChannel:
             last_arrival = max(last_arrival, arrival)
         self.net.stats.record(self.system, category,
                               messages=1, nbytes=nbytes, src=src, dst=dst)
+        obs = self.net.obs
+        if obs is not None:
+            obs.wire(t_ready, last_arrival - t_ready, src,
+                     f"{category}->P{dst} {nbytes}B")
         self.net._post_delivery(Delivery(
             src=src, dst=dst, category=category, payload=payload,
             user_bytes=nbytes, arrival=last_arrival,

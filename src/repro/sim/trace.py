@@ -16,7 +16,7 @@ window (``pid`` is -1 for events with no owning processor).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 __all__ = ["Trace", "TraceEvent"]
 
@@ -35,10 +35,19 @@ class TraceEvent:
 @dataclass
 class Trace:
     enabled: bool = False
+    #: Ring-buffer cap: keep at most this many events, dropping the
+    #: oldest (``None`` = unbounded, the historical behaviour).
+    cap: Optional[int] = None
     events: List[TraceEvent] = field(default_factory=list)
+    #: Events discarded because of :attr:`cap`.
+    dropped_events: int = 0
 
     def record(self, time: float, pid: int, kind: str, detail: str = "") -> None:
         if self.enabled:
+            if self.cap is not None and len(self.events) >= self.cap:
+                overflow = len(self.events) - self.cap + 1
+                del self.events[:overflow]
+                self.dropped_events += overflow
             self.events.append(TraceEvent(time, pid, kind, detail))
 
     def of_kind(self, *kinds: str) -> List[TraceEvent]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.obs.core import B_RECOVERY, B_STALL_SYNC, B_WIRE
 from repro.sim.network import Delivery
 from repro.tmk.protocol import (CAT_BARRIER_ARRIVAL, CAT_BARRIER_DEPARTURE,
                                 BarrierArrival, BarrierDeparture)
@@ -90,6 +91,10 @@ class BarrierSubsystem:
         if self.nprocs == 1:
             self.episodes_completed += 1
             return
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "barrier", B_STALL_SYNC,
+                      f"bid={bid}")
         sanitizer = self.core.sanitizer
         if sanitizer is not None:
             sanitizer.on_barrier_arrive(self.pid, bid)
@@ -99,6 +104,8 @@ class BarrierSubsystem:
             self._client_arrive(bid, t_arrive)
         self.wait_time += proc.now - t_arrive
         self.episodes_completed += 1
+        if obs is not None:
+            obs.end(proc.now, self.pid)
         self._run_post_departure()
         if sanitizer is not None:
             sanitizer.on_barrier_depart(self.pid, bid)
@@ -113,7 +120,12 @@ class BarrierSubsystem:
         if floor is not None:
             self.core.drop_below(floor)
         if checkpoint:
+            obs = self.proc.obs
+            if obs is not None:
+                obs.begin(self.proc.now, self.pid, "checkpoint", B_RECOVERY)
             self.proc.cluster.recovery.tmk_write_checkpoint(self.proc)
+            if obs is not None:
+                obs.end(self.proc.now, self.pid)
 
     # ------------------------------------------------------------------
     # Client side
@@ -123,10 +135,16 @@ class BarrierSubsystem:
         records = self.core.records_since(self._last_barrier_vc)
         arrival = BarrierArrival(barrier=bid, pid=self.pid,
                                  vc=tuple(self.core.vc), records=records)
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "send", B_WIRE,
+                      f"barrier_arrival->P{self.manager}")
         t_free = self.core.udp.send(
             self.pid, self.manager, CAT_BARRIER_ARRIVAL, arrival,
             arrival.nbytes(self.cost, self.nprocs), t_ready=proc.now)
         proc.set_now(t_free)
+        if obs is not None:
+            obs.end(proc.now, self.pid)
         self._waiting = True
         proc.block(f"barrier {bid}")
         self._waiting = False
@@ -168,8 +186,14 @@ class BarrierSubsystem:
             # Everyone else already arrived; we are last.
             t_release = max([t_arrive] +
                             [t for _, t in episode.arrivals])
+            obs = proc.obs
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"barrier_departures bid={bid}")
             t_done = self._release_all(bid, episode, t_release)
             proc.set_now(t_done)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
         else:
             self._waiting = True
             proc.block(f"barrier {bid} (manager)")
@@ -189,6 +213,10 @@ class BarrierSubsystem:
             self.proc.trace("dup_suppress",
                             f"barrier_arrival key={arrival.dedup_key()}")
             return
+        obs = self.proc.obs
+        if obs is not None:
+            obs.instant(delivery.arrival, self.pid, "barrier_arrival",
+                        f"bid={arrival.barrier} from=P{arrival.pid}")
         episode.arrivals.append((arrival, delivery.arrival + service))
         if (episode.manager_arrived
                 and len(episode.arrivals) == self.nprocs - 1):

@@ -29,6 +29,7 @@ from __future__ import annotations
 import bisect
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.obs.core import B_PROTOCOL, B_STALL_DATA, B_WIRE
 from repro.sim.network import Delivery, UdpChannel
 from repro.tmk.diffs import Diff, coalesce, make_diff
 from repro.tmk.intervals import (IntervalId, IntervalRecord, dominant_writers,
@@ -43,6 +44,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.tmk.api import TmkSystem
 
 __all__ = ["LrcCore"]
+
+
+def _union_bytes(diffs: List[Diff]) -> int:
+    """Distinct page bytes covered by a set of same-page diffs."""
+    spans = sorted((offset, offset + len(data))
+                   for diff in diffs for offset, data in diff.runs)
+    total = 0
+    end = -1
+    for lo, hi in spans:
+        if lo > end:
+            total += hi - lo
+            end = hi
+        elif hi > end:
+            total += hi - end
+            end = hi
+    return total
 
 
 class LrcCore:
@@ -118,6 +135,10 @@ class LrcCore:
         self._by_creator[self.pid].append(record)
         self.vc[self.pid] = seq + 1
         self.proc.trace("interval_close", f"seq={seq} pages={list(dirty)}")
+        obs = self.proc.obs
+        if obs is not None:
+            obs.instant(self.proc.now, self.pid, "interval_close",
+                        f"seq={seq} npages={len(dirty)}")
         if self.eager:
             self._broadcast_notice(record)
         return record
@@ -127,13 +148,19 @@ class LrcCore:
         (Munin-style), instead of waiting for the next acquire."""
         notice = ErcNotice(record=record, creator_count=self.vc[self.pid])
         proc = self.proc
+        obs = proc.obs
         for peer in range(self.nprocs):
             if peer == self.pid:
                 continue
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"erc_notice->P{peer}")
             t_free = self.udp.send(self.pid, peer, CAT_ERC_NOTICE, notice,
                                    notice.nbytes(self.cost, self.nprocs),
                                    t_ready=proc.now)
             proc.set_now(t_free)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
 
     def _on_erc_notice(self, delivery: Delivery) -> None:
         notice: ErcNotice = delivery.payload
@@ -235,7 +262,13 @@ class LrcCore:
                     self.sanitizer.on_diff_applied(self.pid, page, diff)
                 cpu += (self.cost.diff_apply_cpu
                         + diff.data_bytes * self.cost.diff_apply_byte_cpu)
+            obs = self.proc.obs
+            if obs is not None:
+                obs.begin(self.proc.now, self.pid, "diff_apply", B_PROTOCOL,
+                          f"page={page} piggybacked")
             self.proc.compute(cpu)
+            if obs is not None:
+                obs.end(self.proc.now, self.pid)
             del self.pending[page]
             self.pt.validate(page)
             self.piggyback_hits += 1
@@ -265,8 +298,14 @@ class LrcCore:
             if not self.pt.is_valid(page):
                 self._fault(page)
             if not self.pt.has_twin(page):
+                obs = self.proc.obs
+                if obs is not None:
+                    obs.begin(self.proc.now, self.pid, "twin", B_PROTOCOL,
+                              f"page={page}")
                 self.pt.make_twin(page)
                 self.proc.compute(self.cost.twin_cpu)
+                if obs is not None:
+                    obs.end(self.proc.now, self.pid)
 
     def _fault(self, page: int) -> None:
         """Bring an invalidated page up to date by fetching missing diffs.
@@ -282,18 +321,28 @@ class LrcCore:
             raise AssertionError(
                 f"P{self.pid}: page {page} invalid with no pending notices")
         self.fault_count += 1
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "page_fault", B_STALL_DATA,
+                      f"page={page}")
         proc.compute(self.cost.fault_cpu)
         t_fault_start = proc.now
         while self.pending.get(page):
             self._fetch_round(page)
         self.pt.validate(page)
         self.fault_wait_time += proc.now - t_fault_start
+        if obs is not None:
+            obs.end(proc.now, self.pid)
 
     def _fetch_round(self, page: int) -> None:
         """One request/response/apply round for a page's pending notices."""
         proc = self.proc
+        obs = proc.obs
         needed = self.pending.pop(page)
         proc.trace("page_fault", f"page={page} intervals={sorted(needed)}")
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "diff_request", B_STALL_DATA,
+                      f"page={page} intervals={len(needed)}")
 
         if self.eager:
             # The dominant-writer reduction relies on "saw the notice
@@ -312,10 +361,16 @@ class LrcCore:
             box = proc.mailbox()
             request = DiffRequest(page=page, wanted=wanted,
                                   requester=self.pid, reply=box)
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"diff_request->P{writer}")
+                obs.note_diff_request(self.pid, request.nbytes(self.cost))
             t_free = self.udp.send(self.pid, writer, CAT_DIFF_REQUEST,
                                    request, request.nbytes(self.cost),
                                    t_ready=proc.now)
             proc.set_now(t_free)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
             boxes.append(box)
 
         entries: Dict[IntervalId, Tuple[Tuple[int, ...], Diff]] = {}
@@ -340,6 +395,13 @@ class LrcCore:
                 f"P{self.pid}: diff responses for page {page} missing "
                 f"intervals {sorted(missing)}")
 
+        if obs is not None:
+            # Diff-accumulation attribution: bytes arriving more than once
+            # for the same page words in this fetch round.
+            diffs = [diff for _, diff in entries.values()]
+            total = sum(diff.data_bytes for diff in diffs)
+            obs.note_fetch_round(self.pid, total, _union_bytes(diffs))
+
         view = self.pt.page_view(page)
         has_twin = self.pt.has_twin(page)
         cpu = 0.0
@@ -359,7 +421,13 @@ class LrcCore:
                 self.sanitizer.on_diff_applied(self.pid, page, diff)
             cpu += (self.cost.diff_apply_cpu
                     + diff.data_bytes * self.cost.diff_apply_byte_cpu)
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "diff_apply", B_PROTOCOL,
+                      f"page={page} ndiffs={len(entries)}")
         self.proc.compute(cpu)
+        if obs is not None:
+            obs.end(proc.now, self.pid)
+            obs.end(proc.now, self.pid)  # close the diff_request span
 
     # ------------------------------------------------------------------
     # Garbage collection (TmkConfig.gc_every)
@@ -428,6 +496,11 @@ class LrcCore:
                                (request.reply, response),
                                response.nbytes(self.cost), t_ready=t_ready)
         self.proc.charge_service(service + (t_free - t_ready))
+        obs = self.proc.obs
+        if obs is not None:
+            obs.serve(delivery.arrival, t_free - delivery.arrival, self.pid,
+                      "serve_diff",
+                      f"page={request.page} to=P{request.requester}")
         self.proc.trace("diff_served",
                         f"page={request.page} to=P{request.requester} "
                         f"ndiffs={len(entries)}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.obs.core import B_STALL_SYNC, B_WIRE
 from repro.sim.network import Delivery
 from repro.tmk.protocol import (CAT_LOCK_FORWARD, CAT_LOCK_GRANT,
                                 CAT_LOCK_REQUEST, LockGrant, LockRequest)
@@ -100,12 +101,16 @@ class LockSubsystem:
         self.acquires += 1
         if state.holding:
             raise RuntimeError(f"P{self.pid}: recursive acquire of lock {lock}")
+        obs = proc.obs
         if state.owns:
             # Last holder re-acquiring: free, no messages, no new notices.
             state.holding = True
             proc.compute(_LOCAL_LOCK_CPU)
             self.local_acquires += 1
             proc.trace("lock_acquire", f"lock={lock} local")
+            if obs is not None:
+                obs.instant(proc.now, self.pid, "lock_local",
+                            f"lock={lock}")
             if self.core.sanitizer is not None:
                 self.core.sanitizer.on_lock_acquired(self.pid, lock)
             return
@@ -116,20 +121,30 @@ class LockSubsystem:
         manager = self.system.lock_manager(lock)
         state.awaiting = True
         t_wait_start = proc.now
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "lock_acquire", B_STALL_SYNC,
+                      f"lock={lock}")
         if manager == self.pid:
             # We manage this lock: route straight to the last requester.
             self._route(request, at=proc.now, charge_thread=True)
         else:
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"lock_request->P{manager}")
             t_free = self.core.udp.send(
                 self.pid, manager, CAT_LOCK_REQUEST, request,
                 request.nbytes(self.cost, self.nprocs), t_ready=proc.now)
             proc.set_now(t_free)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
         grant: LockGrant = box.wait(f"grant of lock {lock}")
         self.wait_time += proc.now - t_wait_start
         self.core.merge(grant.records, grant.vc, piggybacked=grant.diffs)
         state.awaiting = False
         state.owns = True
         state.holding = True
+        if obs is not None:
+            obs.end(proc.now, self.pid)
         proc.trace("lock_acquire",
                    f"lock={lock} from=P{grant.granter} "
                    f"notices={sum(len(r.pages) for r in grant.records)}")
@@ -216,6 +231,10 @@ class LockSubsystem:
                 self.proc.charge_service(service)
                 self._holder_receive(request, at=at, charge_thread=False)
         else:
+            obs = self.proc.obs
+            if obs is not None:
+                obs.instant(at, self.pid, "forward_hop",
+                            f"lock={lock} ->P{target}")
             t_free = self.core.udp.send(
                 self.pid, target, CAT_LOCK_FORWARD, request,
                 request.nbytes(self.cost, self.nprocs), t_ready=at)
@@ -265,14 +284,23 @@ class LockSubsystem:
                           diffs=self._piggyback(records))
         if self.core.sanitizer is not None:
             self.core.sanitizer.on_grant_send(grant, self.pid, request.lock)
+        obs = self.proc.obs
+        if obs is not None and charge_thread:
+            obs.begin(t_ready, self.pid, "send", B_WIRE,
+                      f"lock_grant->P{request.requester}")
         t_free = self.core.udp.send(
             self.pid, request.requester, CAT_LOCK_GRANT,
             (request.reply, grant), grant.nbytes(self.cost, self.nprocs),
             t_ready=t_ready)
         if charge_thread:
             self.proc.set_now(t_free)
+            if obs is not None:
+                obs.end(t_free, self.pid)
         else:
             self.proc.charge_service(t_free - t_ready)
+            if obs is not None:
+                obs.serve(t_ready, t_free - t_ready, self.pid, "serve_grant",
+                          f"lock={request.lock} to=P{request.requester}")
         self.proc.trace("lock_grant",
                         f"lock={request.lock} to=P{request.requester}")
 

@@ -4,8 +4,8 @@ import pytest
 
 from repro.apps.ep import EpParams
 from repro.bench import harness
-from repro.cli import (build_parser, cmd_figure, cmd_list, cmd_run,
-                       cmd_table, cmd_trace, main)
+from repro.cli import (build_parser, cmd_figure, cmd_list, cmd_profile,
+                       cmd_run, cmd_table, cmd_trace, main)
 
 
 @pytest.fixture
@@ -64,6 +64,15 @@ class TestParser:
              "--checkpoint-interval", "0.1"])
         assert args.crash == [(1, 0.5)]
 
+    def test_trace_perfetto_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "sor", "--perfetto", "out.json"])
+        assert args.perfetto == "out.json"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "fig02"])
+        assert (args.system, args.nprocs, args.preset) == ("both", 8, "tiny")
+
 
 class TestCommands:
     def test_list_mentions_all_experiments(self):
@@ -98,9 +107,41 @@ class TestCommands:
         assert "protocol trace" in text
         assert "barrier" in text
 
+    def test_trace_perfetto_writes_valid_json(self, tmp_path):
+        import json
+        from repro.obs import validate_chrome_trace
+        out = tmp_path / "trace.json"
+        text = cmd_trace("ep", 2, 20, perfetto=str(out))
+        assert f"-> {out}" in text
+        assert validate_chrome_trace(json.loads(out.read_text())) == []
+
+    def test_profile_both_systems(self):
+        text = cmd_profile("fig01", "both", 2, "tiny")
+        assert text.count("time attribution:") == 2
+        assert "[tmk, 2 procs]" in text and "[pvm, 2 procs]" in text
+        assert "stall-on-data attribution" in text  # tmk mechanism section
+
+    def test_profile_single_system(self):
+        text = cmd_profile("fig01", "pvm", 2, "tiny")
+        assert text.count("time attribution:") == 1
+        assert "stall-on-data" not in text
+
+    def test_profile_all_covers_every_config(self):
+        text = cmd_profile("all", "tmk", 2, "tiny")
+        assert text.count("time attribution:") == len(harness.EXPERIMENTS)
+
+    def test_profile_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cmd_profile("fig99", "both", 2, "tiny")
+
     def test_main_dispatch(self, tiny_ep, capsys):
         assert main(["list"]) == 0
         assert "fig01" in capsys.readouterr().out
+
+    def test_main_profile_dispatch(self, capsys):
+        assert main(["profile", "fig01", "--system", "tmk",
+                     "--nprocs", "2"]) == 0
+        assert "time attribution" in capsys.readouterr().out
 
 
 class TestCrashRecoveryCommands:

@@ -1,0 +1,134 @@
+"""Property-based structural invariants of the diff encoding.
+
+``test_diffs.py`` checks behaviour (round trips, coalesce semantics);
+these properties pin the *encoding* itself: every diff a conforming
+implementation emits has word-aligned, non-adjacent, offset-sorted runs,
+and its advertised wire size matches what the runs actually encode.
+Downstream consumers (wire accounting, the false-sharing analyzer, diff
+accumulation attribution) rely on these invariants.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tmk.diffs import RUN_HEADER_BYTES, WORD, coalesce, make_diff
+
+PAGE = 1024  # smaller page than production keeps hypothesis cases dense
+
+word_writes = st.lists(
+    st.tuples(st.integers(0, PAGE // WORD - 1), st.integers(1, 255)),
+    max_size=40)
+
+
+def modified(changes):
+    twin = np.zeros(PAGE, dtype=np.uint8)
+    cur = twin.copy()
+    for word, value in changes:
+        cur[word * WORD: (word + 1) * WORD] = value
+    return cur, twin
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_writes)
+def test_runs_word_aligned(changes):
+    cur, twin = modified(changes)
+    diff = make_diff(0, cur, twin)
+    for offset, data in diff.runs:
+        assert offset % WORD == 0
+        assert len(data) % WORD == 0
+        assert len(data) > 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_writes)
+def test_runs_sorted_and_non_adjacent(changes):
+    """Runs come in ascending offset order with a gap between them --
+    adjacent runs would have been merged by construction."""
+    cur, twin = modified(changes)
+    diff = make_diff(0, cur, twin)
+    ends = [(offset, offset + len(data)) for offset, data in diff.runs]
+    for (_, prev_end), (next_start, _) in zip(ends, ends[1:]):
+        assert next_start > prev_end  # sorted AND separated by >= 1 word
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_writes)
+def test_runs_stay_inside_the_page(changes):
+    cur, twin = modified(changes)
+    diff = make_diff(0, cur, twin)
+    for offset, data in diff.runs:
+        assert 0 <= offset and offset + len(data) <= PAGE
+
+
+@settings(max_examples=80, deadline=None)
+@given(word_writes)
+def test_wire_bytes_matches_encoding(changes):
+    """wire_bytes is exactly what serializing the runs would cost:
+    one fixed header plus the payload, per run."""
+    cur, twin = modified(changes)
+    diff = make_diff(0, cur, twin)
+    encoded = sum(RUN_HEADER_BYTES + len(data) for _, data in diff.runs)
+    assert diff.wire_bytes == encoded
+    assert diff.data_bytes == sum(len(data) for _, data in diff.runs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(word_writes.filter(bool))
+def test_roundtrip_from_random_byte_content(changes):
+    """Round trip against a *random* twin, not just zeros: apply() must
+    reproduce the modified page even when untouched bytes are nonzero."""
+    rng = np.random.default_rng(12345)
+    twin = rng.integers(0, 256, PAGE).astype(np.uint8)
+    cur = twin.copy()
+    for word, value in changes:
+        cur[word * WORD: (word + 1) * WORD] ^= value  # may be a no-op run
+    diff = make_diff(0, cur, twin)
+    target = twin.copy()
+    diff.apply(target)
+    assert np.array_equal(target, cur)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(word_writes.filter(bool), min_size=1, max_size=5))
+def test_coalesce_idempotent(diff_specs):
+    """coalesce(coalesce(ds)) == coalesce(ds), and re-coalescing a single
+    already-coalesced diff is the identity."""
+    diffs = [make_diff(0, *modified(spec)) for spec in diff_specs]
+    merged = coalesce(diffs)
+    assert coalesce([merged]) == merged
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(word_writes.filter(bool), min_size=2, max_size=5))
+def test_coalesce_respects_order(diff_specs):
+    """Coalescing in apply order equals sequential application; the
+    reversed order may differ whenever writes overlap (later wins)."""
+    diffs = [make_diff(0, *modified(spec)) for spec in diff_specs]
+    sequential = np.zeros(PAGE, dtype=np.uint8)
+    for d in diffs:
+        d.apply(sequential)
+    merged_target = np.zeros(PAGE, dtype=np.uint8)
+    coalesce(diffs).apply(merged_target)
+    assert np.array_equal(sequential, merged_target)
+    # And coalesce output itself obeys the run invariants.
+    merged = coalesce(diffs)
+    ends = [(offset, offset + len(data)) for offset, data in merged.runs]
+    for (_, prev_end), (next_start, _) in zip(ends, ends[1:]):
+        assert next_start > prev_end
+
+
+@settings(max_examples=40, deadline=None)
+@given(word_writes.filter(bool), word_writes.filter(bool))
+def test_coalesce_data_bounded_by_union(a, b):
+    """The merged diff never carries more than the union of the inputs'
+    touched extents (the whole point of the accumulation remedy)."""
+    d1 = make_diff(0, *modified(a))
+    d2 = make_diff(0, *modified(b))
+    touched = np.zeros(PAGE, dtype=bool)
+    for d in (d1, d2):
+        for offset, data in d.runs:
+            touched[offset: offset + len(data)] = True
+    merged = coalesce([d1, d2])
+    assert merged.data_bytes == int(touched.sum())
+    assert merged.data_bytes <= d1.data_bytes + d2.data_bytes

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Validate a Chrome/Perfetto trace-event JSON file.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py TRACE.json [TRACE2.json ...]
+
+Exits nonzero if any file is malformed (bad phase letters, unbalanced
+begin/end pairs, missing durations, ...).  CI runs this over the traces
+produced by ``repro trace --perfetto`` to keep the exporter honest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str) -> int:
+    from repro.obs import validate_chrome_trace
+    try:
+        with open(path) as handle:
+            obj = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable: {exc}")
+        return 1
+    errors = validate_chrome_trace(obj)
+    if errors:
+        for error in errors:
+            print(f"{path}: {error}")
+        return 1
+    events = obj["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") in ("B", "X"))
+    print(f"{path}: OK ({len(events)} events, {spans} spans)")
+    return 0
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip())
+        return 2
+    return max(check(path) for path in argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
