@@ -11,7 +11,7 @@ Run:  python examples/protocol_trace.py
 
 import numpy as np
 
-from repro.sim import Cluster
+from repro.sim import Cluster, ClusterConfig
 from repro.sim.trace import Trace
 from repro.tmk import attach_tmk
 from repro.tmk.api import TmkConfig
@@ -19,7 +19,7 @@ from repro.tmk.api import TmkConfig
 
 def main():
     trace = Trace(enabled=True)
-    cluster = Cluster(3, trace=trace)
+    cluster = Cluster(3, config=ClusterConfig(trace=trace))
     attach_tmk(cluster, TmkConfig(segment_bytes=1 << 16))
 
     def program(proc):

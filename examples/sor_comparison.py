@@ -1,52 +1,52 @@
 #!/usr/bin/env python
 """Reproduce the paper's SOR story end to end, at small scale.
 
-Runs Red-Black SOR in both input regimes on 1..8 simulated processors and
-prints the two speedup figures plus the communication comparison --
-including the paper's counter-intuitive result that TreadMarks ships
-*less data* than PVM when the grid stays mostly zero (diffs of unchanged
-pages are empty), despite sending ~5x the messages.
+Runs Red-Black SOR in both input regimes (``fig02`` = zero interior,
+``fig03`` = nonzero) on 1..8 simulated processors through the
+:func:`repro.api.run` facade and prints the two speedup figures plus the
+communication comparison -- including the paper's counter-intuitive
+result that TreadMarks ships *less data* than PVM when the grid stays
+mostly zero (diffs of unchanged pages are empty), despite sending ~5x
+the messages.
+
+Every run goes through the persistent result cache, so a second
+invocation of this script prints the same report without simulating
+anything (delete ``.repro_cache/`` or set ``REPRO_CACHE_DIR`` to start
+cold).
 
 Run:  python examples/sor_comparison.py
 """
 
-from repro.apps import base
-from repro.apps.sor import SorParams
+from repro.api import RunConfig, run
+from repro.bench import harness
 from repro.bench.figures import render_figure
 
 NPROCS = (1, 2, 4, 8)
-PARAMS = {
-    "SOR-Zero": SorParams(rows=256, width=768, iterations=30),
-    "SOR-NonZero": SorParams(rows=256, width=768, iterations=30,
-                             nonzero=True),
-}
+EXPERIMENTS = ("fig02", "fig03")  # SOR-Zero, SOR-NonZero
 
 
 def main():
-    for label, params in PARAMS.items():
-        seq = base.run_sequential("sor", params)
+    for exp_id in EXPERIMENTS:
+        exp = harness.EXPERIMENTS[exp_id]
         series = {}
-        runs8 = {}
+        at8 = {}
         for system in ("tmk", "pvm"):
-            speedups = []
-            for n in NPROCS:
-                par = base.run_parallel("sor", system, n, params)
-                assert base.get_app("sor").verify(par.result, seq.result)
-                speedups.append(seq.time / par.time)
-                if n == 8:
-                    runs8[system] = par
-            series[system] = speedups
+            results = [run(RunConfig(experiment=exp_id, system=system,
+                                     nprocs=n))
+                       for n in NPROCS]
+            series[system] = [r.speedup for r in results]
+            at8[system] = results[-1]
 
+        seq = at8["tmk"].seq_time
         print(render_figure(
-            f"{label}  (sequential: {seq.time:.2f} virtual seconds)",
+            f"{exp.label}  (sequential: {seq:.2f} virtual seconds)",
             NPROCS, series["tmk"], series["pvm"]))
         print()
-        tmk, pvm = runs8["tmk"], runs8["pvm"]
-        print(f"at 8 processors: TreadMarks {tmk.total_messages()} msgs / "
-              f"{tmk.total_kbytes():.0f} KB, "
-              f"PVM {pvm.total_messages()} msgs / "
-              f"{pvm.total_kbytes():.0f} KB")
-        if tmk.total_kbytes() < pvm.total_kbytes():
+        tmk, pvm = at8["tmk"], at8["pvm"]
+        print(f"at 8 processors: TreadMarks {tmk.messages} msgs / "
+              f"{tmk.kbytes:.0f} KB, "
+              f"PVM {pvm.messages} msgs / {pvm.kbytes:.0f} KB")
+        if tmk.kbytes < pvm.kbytes:
             print("  -> TreadMarks moved LESS data: diffs of pages whose "
                   "values did not change are empty.")
         else:

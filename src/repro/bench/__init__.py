@@ -8,13 +8,18 @@
   paper's Figures 1-12.
 * :mod:`repro.bench.paper` -- the paper's qualitative expectations (who
   wins, by roughly what factor) and checks against measured results.
+* :mod:`repro.bench.sweep` -- the parallel sweep runner (``repro sweep``).
+* :mod:`repro.bench.cache` -- the persistent content-addressed result
+  cache that :func:`repro.api.run` and the sweep read through.
 """
 
+from repro.bench.cache import ResultCache, default_cache
 from repro.bench.harness import (EXPERIMENTS, Experiment, clear_cache,
                                  messages_at, run_cached, seq_time,
                                  speedup_series)
 from repro.bench.figures import render_figure
 from repro.bench.paper import EXPECTATIONS, Expectation, check_experiment
+from repro.bench.sweep import SweepReport, SweepRun, run_sweep, sweep_configs
 from repro.bench.tables import render_table1, render_table2
 
 __all__ = [
@@ -22,13 +27,19 @@ __all__ = [
     "EXPERIMENTS",
     "Expectation",
     "Experiment",
+    "ResultCache",
+    "SweepReport",
+    "SweepRun",
     "check_experiment",
     "clear_cache",
+    "default_cache",
     "messages_at",
     "render_figure",
     "render_table1",
     "render_table2",
     "run_cached",
+    "run_sweep",
     "seq_time",
     "speedup_series",
+    "sweep_configs",
 ]

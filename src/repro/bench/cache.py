@@ -1,0 +1,161 @@
+"""Persistent, content-addressed result cache.
+
+Experiment results are pure functions of (experiment parameters, system,
+processor count, fault/recovery/analysis/observability options, cost-model
+constants, and the simulator's source code): the simulator is
+deterministic, so a result computed once is valid until any of those
+inputs changes.  This module stores one JSON document per cache key under
+a cache directory so results survive across processes and sessions --
+``repro sweep``, the figure/table renderers, and the benchmark suite all
+read through it.
+
+Keys are content-addressed: ``cache_key_from_material`` hashes the
+canonical JSON encoding of the full key material, which includes a
+*source-tree fingerprint* of ``src/repro/`` -- editing any simulator
+source file invalidates every cached result (the safe default for a
+research harness: no stale numbers after a protocol change).
+
+Layout: ``<dir>/<key[:2]>/<key>.json``, written atomically (unique temp
+file + ``os.replace``) so concurrent sweep workers can share a directory.
+The cache directory is resolved per call from ``$REPRO_CACHE_DIR``, else
+``<repo root>/.repro_cache``, else ``~/.cache/repro-sc95``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "cache_key_from_material",
+    "canonical_json",
+    "default_cache",
+    "default_cache_dir",
+    "source_fingerprint",
+]
+
+#: Version of the on-disk cache entry format.  Bump on incompatible
+#: changes to the stored payload; entries with another version are misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file under ``src/repro/`` (path + bytes).
+
+    Computed once per process.  Any source edit -- a cost constant, a
+    protocol change, a bug fix -- changes the fingerprint and therefore
+    every cache key derived from it.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def cache_key_from_material(material: Dict[str, Any]) -> str:
+    """Content-address arbitrary (JSON-encodable) key material."""
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache directory (env var, repo root, then home)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    # src/repro/bench/cache.py -> repo root is three parents above repro/.
+    for parent in pathlib.Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").is_file():
+            return parent / ".repro_cache"
+    return pathlib.Path.home() / ".cache" / "repro-sc95"
+
+
+class ResultCache:
+    """A directory of content-addressed JSON result documents."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self.directory = (pathlib.Path(directory) if directory is not None
+                          else default_cache_dir())
+        #: Per-instance traffic counters (diagnostics; the authoritative
+        #: hit-rate for a sweep comes from the per-run ``cached`` flags).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        Unreadable, corrupt, or version-mismatched entries are misses
+        (never errors): the cache is an accelerator, not a dependency.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or entry.get("key") != key):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` (atomic, concurrency-safe)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key,
+                 "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(canonical_json(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def default_cache() -> ResultCache:
+    """A cache over the default directory (resolved at call time)."""
+    return ResultCache()

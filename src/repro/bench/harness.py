@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.races import AnalysisConfig
 from repro.apps import base
+from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
 from repro.sim.recovery import RecoveryConfig
 from repro.apps.barnes_hut import BhParams
@@ -166,20 +167,29 @@ def run_cached(exp_id: str, system: str, nprocs: int,
                faults: Optional[FaultPlan] = None,
                analysis: Optional[AnalysisConfig] = None,
                recovery: Optional[RecoveryConfig] = None,
-               obs: Optional[ObsConfig] = None) -> base.ParallelResult:
-    """One parallel run, memoized, with its result verified against the
-    sequential version (every bench run is also a correctness check --
-    including lossy and crash/recovery runs, whose results must match
-    the fault-free ones)."""
+               obs: Optional[ObsConfig] = None,
+               cost: Optional[CostModel] = None) -> base.ParallelResult:
+    """One parallel run, memoized in-process, with its result verified
+    against the sequential version (every bench run is also a correctness
+    check -- including lossy and crash/recovery runs, whose results must
+    match the fault-free ones).
+
+    This is the *live* runner: it returns the full ParallelResult with
+    stats buckets, endpoints, sanitizer, and profiler attached.  Most
+    callers want :func:`repro.api.run` instead, which reads through the
+    persistent on-disk cache and returns the versioned summary record.
+    """
     if analysis is not None and not analysis.enabled:
         analysis = None
     if obs is not None and not obs.enabled:
         obs = None
-    key = (exp_id, preset, system, nprocs, faults, analysis, recovery, obs)
+    key = (exp_id, preset, system, nprocs, faults, analysis, recovery, obs,
+           cost)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
-                                   params_for(exp, preset), faults=faults,
+                                   params_for(exp, preset), cost=cost,
+                                   faults=faults,
                                    analysis=analysis, recovery=recovery,
                                    obs=obs)
         seq = _seq(exp_id, preset)
@@ -195,14 +205,20 @@ def run_cached(exp_id: str, system: str, nprocs: int,
 def speedup_series(exp_id: str, system: str,
                    nprocs_list: Sequence[int] = NPROCS_SERIES,
                    preset: str = "bench") -> List[float]:
-    """Speedups over the sequential run (one of the paper's curves)."""
-    seq = seq_time(exp_id, preset)
-    return [seq / run_cached(exp_id, system, n, preset).time
-            for n in nprocs_list]
+    """Speedups over the sequential run (one of the paper's curves).
+
+    Reads through the persistent result cache via :mod:`repro.api`, so
+    re-rendering a figure after a warm sweep simulates nothing.
+    """
+    from repro import api
+    return api.speedup_series(exp_id, system, nprocs_list, preset)
 
 
 def messages_at(exp_id: str, system: str, nprocs: int = 8,
                 preset: str = "bench") -> Tuple[int, float]:
-    """(messages, kilobytes) for one system at ``nprocs`` (Table 2)."""
-    run = run_cached(exp_id, system, nprocs, preset)
-    return run.total_messages(), run.total_kbytes()
+    """(messages, kilobytes) for one system at ``nprocs`` (Table 2).
+
+    Reads through the persistent result cache via :mod:`repro.api`.
+    """
+    from repro import api
+    return api.messages_at(exp_id, system, nprocs, preset)

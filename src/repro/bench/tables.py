@@ -25,7 +25,12 @@ def _experiments(exp_ids: Optional[Sequence[str]]) -> List[str]:
 
 def render_table1(exp_ids: Optional[Sequence[str]] = None,
                   preset: str = "bench") -> str:
-    """Reproduce Table 1: sequential times and problem sizes."""
+    """Reproduce Table 1: sequential times and problem sizes.
+
+    Reads through the persistent result cache (:func:`repro.api.seq_time`),
+    so after a warm sweep the table renders without running anything.
+    """
+    from repro import api
     rows = [f"Table 1: Sequential Time of Applications ({preset} preset)",
             "",
             f"{'Program':<14}{'Problem Size':<42}{'Time (s)':>10}",
@@ -33,7 +38,7 @@ def render_table1(exp_ids: Optional[Sequence[str]] = None,
     for exp_id in _experiments(exp_ids):
         exp = harness.EXPERIMENTS[exp_id]
         rows.append(f"{exp.label:<14}{harness.size_string(exp, preset):<42}"
-                    f"{harness.seq_time(exp_id, preset):>10.2f}")
+                    f"{api.seq_time(exp_id, preset):>10.2f}")
     return "\n".join(rows)
 
 

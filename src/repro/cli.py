@@ -4,6 +4,9 @@ Commands::
 
     list                       the twelve experiment configurations
     run EXP [options]          one simulated run, with stats + breakdown
+    sweep EXP.. [options]      the whole run grid, fanned across CPU cores
+                               through the persistent result cache
+                               (``repro sweep all --jobs 8``)
     figure EXP [options]       a paper figure (speedup curves)
     table1 / table2 [options]  the paper's tables
     trace APP [options]        a traced TreadMarks run (protocol timeline);
@@ -69,6 +72,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-page false-sharing analysis "
                           "(tmk only)")
     add_fault_flags(run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run many configurations in parallel worker processes, "
+             "reading and populating the persistent result cache")
+    sweep.add_argument("experiment", nargs="+",
+                       help="experiment ids (fig01..fig12), or 'all'")
+    sweep.add_argument("--systems", default="tmk,pvm",
+                       help="comma-separated systems (default: tmk,pvm)")
+    sweep.add_argument("--nprocs", default="8",
+                       help="comma-separated processor counts (default: 8)")
+    sweep.add_argument("--preset", choices=("tiny", "bench", "paper"),
+                       default="bench")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: the CPU count)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore and do not populate the result cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            "$REPRO_CACHE_DIR or <repo>/.repro_cache)")
+    sweep.add_argument("--json", metavar="OUT.json", default=None,
+                       help="also write the full sweep report as JSON")
 
     figure = sub.add_parser("figure", help="render one paper figure")
     figure.add_argument("experiment", help="experiment id (fig01..fig12)")
@@ -181,6 +206,7 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             faults=None, race_check: str = "off",
             false_sharing: bool = False,
             checkpoint_every: float = 0.0) -> str:
+    from repro import api
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
     if experiment not in harness.EXPERIMENTS:
@@ -204,25 +230,28 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
                                  f"the run has {nprocs} processors")
         recovery = RecoveryConfig(checkpoint_interval=checkpoint_every)
     exp = harness.EXPERIMENTS[experiment]
-    seq = harness.seq_time(experiment, preset)
+    config = api.RunConfig(experiment=experiment, system=system,
+                           nprocs=nprocs, preset=preset, faults=faults,
+                           analysis=analysis, recovery=recovery)
     try:
-        run = harness.run_cached(experiment, system, nprocs, preset,
-                                 faults=faults, analysis=analysis,
-                                 recovery=recovery)
+        # want_parallel: the report below needs the live run (stats
+        # buckets, sanitizer, mechanism breakdown), not just the summary.
+        result = api.run(config, want_parallel=True)
     except NodeFailure as failure:
         raise SystemExit(f"unrecoverable failure: {failure}\n"
                          "(hint: --checkpoint-interval bounds the work "
                          "lost per crash; multiple crashes within one "
                          "checkpoint interval cannot be recovered)")
+    run = result.parallel
     rows = [
         f"{exp.label} / {system} / {nprocs} processors ({preset} preset)",
         "",
-        f"sequential time   {seq:10.2f} virtual s",
-        f"parallel time     {run.time:10.2f} virtual s",
-        f"speedup           {seq / run.time:10.2f}",
-        f"messages          {run.total_messages():10d}",
-        f"data              {run.total_kbytes():10.0f} KB",
-        f"link utilization  {run.cluster.link_utilization:10.2f}",
+        f"sequential time   {result.seq_time:10.2f} virtual s",
+        f"parallel time     {result.time:10.2f} virtual s",
+        f"speedup           {result.speedup:10.2f}",
+        f"messages          {result.messages:10d}",
+        f"data              {result.kbytes:10.0f} KB",
+        f"link utilization  {result.link_utilization:10.2f}",
         "",
         run.stats.summary(system),
     ]
@@ -257,6 +286,32 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
         if false_sharing:
             rows += ["", run.sanitizer.false_sharing_report()]
     return "\n".join(rows)
+
+
+def cmd_sweep(experiments: List[str], systems: str, nprocs: str,
+              preset: str, jobs: Optional[int], no_cache: bool,
+              cache_dir: Optional[str],
+              json_out: Optional[str] = None) -> str:
+    from repro.bench import sweep as sweep_mod
+    system_list = tuple(s.strip() for s in systems.split(",") if s.strip())
+    counts = tuple(int(v) for v in nprocs.split(","))
+    try:
+        configs = sweep_mod.sweep_configs(experiments, systems=system_list,
+                                          nprocs=counts, preset=preset)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if jobs is None:
+        jobs = sweep_mod.default_jobs()
+    report = sweep_mod.run_sweep(configs, jobs=jobs,
+                                 use_cache=not no_cache,
+                                 cache_dir=cache_dir)
+    text = report.render()
+    if json_out is not None:
+        import json as json_mod
+        with open(json_out, "w", encoding="utf-8") as fh:
+            json_mod.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        text += f"\n\nsweep report -> {json_out}"
+    return text
 
 
 def cmd_figure(experiment: str, nprocs: str, preset: str) -> str:
@@ -350,6 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       faults=plan, race_check=args.race_check,
                       false_sharing=args.false_sharing_report,
                       checkpoint_every=args.checkpoint_interval))
+    elif args.command == "sweep":
+        print(cmd_sweep(args.experiment, args.systems, args.nprocs,
+                        args.preset, args.jobs, args.no_cache,
+                        args.cache_dir, json_out=args.json))
     elif args.command == "figure":
         print(cmd_figure(args.experiment, args.nprocs, args.preset))
     elif args.command in ("table1", "table2"):

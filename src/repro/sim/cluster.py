@@ -216,7 +216,13 @@ class ClusterConfig:
 
 
 class Cluster:
-    """``nprocs`` simulated workstations on one FDDI ring."""
+    """``nprocs`` simulated workstations on one FDDI ring.
+
+    Construct with ``Cluster(nprocs, config=ClusterConfig(...))``.  The
+    older spelling -- passing ``cost=``/``trace=``/``faults=`` directly --
+    still works but is deprecated; it predates :class:`ClusterConfig`
+    (and the :func:`repro.api.run` facade most callers want instead).
+    """
 
     def __init__(self, nprocs: int, cost: Optional[CostModel] = None,
                  trace: Optional[Trace] = None,
@@ -225,6 +231,13 @@ class Cluster:
         if nprocs < 1:
             raise ValueError("need at least one processor")
         if config is None:
+            if cost is not None or trace is not None or faults is not None:
+                import warnings
+                warnings.warn(
+                    "Cluster(nprocs, cost=..., trace=..., faults=...) is "
+                    "deprecated; pass Cluster(nprocs, config="
+                    "ClusterConfig(...)) -- or use repro.api.run()",
+                    DeprecationWarning, stacklevel=2)
             config = ClusterConfig(cost=cost, trace=trace, faults=faults)
         self.config = config
         self.nprocs = nprocs

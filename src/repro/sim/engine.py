@@ -300,30 +300,48 @@ class Engine:
             self._running = False
 
     def _loop(self) -> None:
+        # The scheduler is the simulator's inner loop: it runs once per
+        # yield point and once per event.  Everything below is a single
+        # pass over the (small) thread list with local bindings -- no
+        # intermediate ready-list allocation, no repeated attribute
+        # lookups, and the done/failed/ready scans folded into one.
+        threads = self._threads
+        events = self._events
+        heappop = heapq.heappop
+        back = self._back
         while True:
-            failed = next((t for t in self._threads if t.exception), None)
-            if failed is not None:
-                exc = failed.exception
-                failed.exception = None
-                raise exc
-            if all(t.state == _DONE for t in self._threads):
+            # One pass: surface failures, detect completion, and find the
+            # ready thread with the smallest (clock, tid).  Iteration is in
+            # tid order, so keeping the first strict minimum preserves the
+            # historical (clock, tid) tie-break exactly.
+            next_thread = None
+            all_done = True
+            for t in threads:
+                if t.exception is not None:
+                    exc = t.exception
+                    t.exception = None
+                    raise exc
+                state = t.state
+                if state != _DONE:
+                    all_done = False
+                    if state == _READY and (next_thread is None
+                                            or t.clock < next_thread.clock):
+                        next_thread = t
+
+            if all_done:
                 # Drain in-flight events (e.g. messages still on the wire)
                 # so trailing deliveries and their CPU charges complete.
-                while self._events:
-                    _, _, fn = heapq.heappop(self._events)
+                while events:
+                    _, _, fn = heappop(events)
                     fn()
-                if all(t.state == _DONE for t in self._threads):
+                if all(t.state == _DONE for t in threads):
                     return
                 continue
 
             # Pick the schedulable entity with the smallest virtual time;
             # events win ties so request handlers run before threads proceed.
-            ready = [t for t in self._threads if t.state == _READY]
-            next_thread = min(ready, key=lambda t: (t.clock, t.tid), default=None)
-            next_event_time = self._events[0][0] if self._events else None
-
-            if next_event_time is not None and (
-                    next_thread is None or next_event_time <= next_thread.clock):
+            if events and (next_thread is None
+                           or events[0][0] <= next_thread.clock):
                 if next_thread is None:
                     self._blocked_events += 1
                     if self._blocked_events > self.watchdog_events:
@@ -333,8 +351,9 @@ class Engine:
                             f"blocked: {self.thread_dump()}")
                 else:
                     self._blocked_events = 0
-                time, _, fn = heapq.heappop(self._events)
-                self.horizon = max(self.horizon, time)
+                time, _, fn = heappop(events)
+                if time > self.horizon:
+                    self.horizon = time
                 fn()
                 continue
 
@@ -344,11 +363,12 @@ class Engine:
                     + self.thread_dump())
 
             self._blocked_events = 0
-            self.horizon = max(self.horizon, next_thread.clock)
-            self._back.clear()
+            if next_thread.clock > self.horizon:
+                self.horizon = next_thread.clock
+            back.clear()
             next_thread.state = _RUNNING
             next_thread._go.set()
-            self._back.wait()
+            back.wait()
 
     def _abort(self) -> None:
         """Unwind all live simulated threads after a failure."""

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.obs.core import B_PROTOCOL, B_STALL_DATA, B_WIRE
 from repro.sim.network import Delivery, UdpChannel
-from repro.tmk.diffs import Diff, coalesce, make_diff
+from repro.tmk.diffs import Diff, coalesce, make_diffs
 from repro.tmk.intervals import (IntervalId, IntervalRecord, dominant_writers,
                                  vc_max)
 from repro.tmk.pages import PageTable
@@ -119,8 +119,10 @@ class LrcCore:
         if not dirty:
             return None
         seq = self.vc[self.pid]
-        for page in dirty:
-            diff = make_diff(page, self.pt.page_view(page), self.pt.twin(page))
+        # One stacked comparison for the whole interval's dirty pages.
+        diffs = make_diffs(dirty, [self.pt.page_view(p) for p in dirty],
+                           [self.pt.twin(p) for p in dirty])
+        for page, diff in zip(dirty, diffs):
             self.pt.drop_twin(page)
             self.diff_cache[((self.pid, seq), page)] = diff
             # CPU accounting is deferred to first service: real TreadMarks

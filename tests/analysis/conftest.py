@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis import AnalysisConfig, attach_sanitizer
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.trace import Trace
 from repro.tmk.api import TmkConfig, attach_tmk
 
@@ -14,7 +14,7 @@ def san_run():
     attached; returns ``(sanitizer, ClusterResult)``."""
 
     def runner(fn, nprocs=4, config=None, tmk_config=None):
-        cluster = Cluster(nprocs, trace=Trace())
+        cluster = Cluster(nprocs, config=ClusterConfig(trace=Trace()))
         endpoints = attach_tmk(cluster, tmk_config if tmk_config is not None
                                else TmkConfig(segment_bytes=1 << 20))
         sanitizer = attach_sanitizer(

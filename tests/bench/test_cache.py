@@ -1,0 +1,177 @@
+"""Tests for the persistent result cache and its key derivation."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.apps.ep import EpParams
+from repro.bench import cache as cache_mod
+from repro.bench import harness
+from repro.bench.cache import (ResultCache, cache_key_from_material,
+                               canonical_json, default_cache_dir,
+                               source_fingerprint)
+from repro.sim.costmodel import CostModel
+from repro.sim.faults import FaultPlan
+
+
+@pytest.fixture
+def tiny_ep(monkeypatch):
+    exp = harness.EXPERIMENTS["fig01"]
+    tiny = harness.Experiment(exp.exp_id, exp.label, exp.app, exp.figure,
+                              EpParams.tiny(), EpParams.tiny(), exp.size_note,
+                              tiny_params=EpParams.tiny())
+    harness.clear_cache()
+    monkeypatch.setitem(harness.EXPERIMENTS, "fig01", tiny)
+    yield
+    harness.clear_cache()
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == \
+            canonical_json({"a": [1, 2], "b": 1})
+
+    def test_no_whitespace(self):
+        assert " " not in canonical_json({"a": [1, 2], "b": {"c": 3}})
+
+    def test_material_hash_stable(self):
+        m = {"x": 1, "y": [2.5, "z"]}
+        assert cache_key_from_material(m) == cache_key_from_material(dict(m))
+        assert cache_key_from_material(m) != cache_key_from_material({"x": 2})
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, {"v": 1})
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_schema_or_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        cache.put(key, {"v": 1})
+        entry = json.loads(cache._path(key).read_text())
+        entry["cache_schema"] = 999
+        cache._path(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        # An entry stored under the wrong key (e.g. a renamed file) too.
+        other = "ee" + "0" * 62
+        cache._path(other).parent.mkdir(parents=True, exist_ok=True)
+        cache.put(key, {"v": 1})
+        cache._path(key).rename(cache._path(other))
+        assert cache.get(other) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" + "0" * 62, {"i": i})
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("aa" + "0" * 62, {})
+        cache.put("bb" + "0" * 62, {})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_default_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+
+class TestSourceFingerprint:
+    def test_stable_within_process(self):
+        assert source_fingerprint() == source_fingerprint()
+        assert len(source_fingerprint()) == 64
+
+
+class TestCacheKeyInvalidation:
+    """Every input that can change a result must change the key."""
+
+    BASE = dict(experiment="fig01", system="tmk", nprocs=4, preset="tiny")
+
+    def test_identical_config_same_key(self):
+        assert api.cache_key(api.RunConfig(**self.BASE)) == \
+            api.cache_key(api.RunConfig(**self.BASE))
+
+    def test_cost_constant_invalidates(self):
+        base = api.cache_key(api.RunConfig(**self.BASE))
+        tweaked = CostModel(udp_send_cpu=CostModel().udp_send_cpu * 2)
+        assert api.cache_key(api.RunConfig(cost=tweaked, **self.BASE)) != base
+        # The default cost model keys identically to an explicit default.
+        assert api.cache_key(
+            api.RunConfig(cost=CostModel.paper_testbed(), **self.BASE)) == base
+
+    def test_fault_plan_invalidates(self):
+        base = api.cache_key(api.RunConfig(**self.BASE))
+        lossy = api.cache_key(
+            api.RunConfig(faults=FaultPlan(seed=1, loss=0.05), **self.BASE))
+        assert lossy != base
+        reseeded = api.cache_key(
+            api.RunConfig(faults=FaultPlan(seed=2, loss=0.05), **self.BASE))
+        assert reseeded not in (base, lossy)
+
+    def test_preset_and_shape_invalidate(self):
+        keys = {
+            api.cache_key(api.RunConfig(experiment="fig01", system=system,
+                                        nprocs=nprocs, preset=preset))
+            for system in ("tmk", "pvm")
+            for nprocs in (2, 4)
+            for preset in ("tiny", "bench")
+        }
+        assert len(keys) == 8
+
+    def test_experiment_params_invalidate(self, monkeypatch):
+        """Same (experiment, preset) labels, different parameters -> a
+        different key (tests swap tiny parameterizations in under the
+        same id; their results must never collide with the real ones)."""
+        base = api.cache_key(api.RunConfig(**self.BASE))
+        exp = harness.EXPERIMENTS["fig01"]
+        swapped = harness.Experiment(
+            exp.exp_id, exp.label, exp.app, exp.figure, exp.bench_params,
+            exp.paper_params, exp.size_note,
+            tiny_params=EpParams(log2_pairs=9))
+        monkeypatch.setitem(harness.EXPERIMENTS, "fig01", swapped)
+        assert api.cache_key(api.RunConfig(**self.BASE)) != base
+
+    def test_source_fingerprint_invalidates(self, monkeypatch):
+        base = api.cache_key(api.RunConfig(**self.BASE))
+        monkeypatch.setattr(api, "source_fingerprint",
+                            lambda: "f" * 64)
+        assert api.cache_key(api.RunConfig(**self.BASE)) != base
+
+    def test_stale_entry_recomputed_not_served(self, tiny_ep, tmp_path,
+                                               monkeypatch):
+        """A cached record whose payload fails to parse as a RunResult is
+        recomputed, not returned."""
+        cache = ResultCache(tmp_path)
+        cfg = api.RunConfig(experiment="fig01", nprocs=2)
+        cold = api.run(cfg, cache=cache)
+        key = api.cache_key(cfg)
+        cache.put(key, {"schema_version": cold.schema_version})  # truncated
+        again = api.run(cfg, cache=cache)
+        assert not again.cached
+        assert again.to_json_bytes() == cold.to_json_bytes()
+
+
+class TestCacheVersioning:
+    def test_entry_format(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "01" + "0" * 62
+        cache.put(key, {"v": 1})
+        entry = json.loads(cache._path(key).read_text())
+        assert entry["cache_schema"] == cache_mod.CACHE_SCHEMA_VERSION
+        assert entry["key"] == key
+        assert entry["payload"] == {"v": 1}

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.ep import EpParams
 from repro.bench import harness
 from repro.cli import (build_parser, cmd_figure, cmd_list, cmd_profile,
-                       cmd_run, cmd_table, cmd_trace, main)
+                       cmd_run, cmd_sweep, cmd_table, cmd_trace, main)
 
 
 @pytest.fixture
@@ -73,6 +73,23 @@ class TestParser:
         args = build_parser().parse_args(["profile", "fig02"])
         assert (args.system, args.nprocs, args.preset) == ("both", 8, "tiny")
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "all"])
+        assert args.experiment == ["all"]
+        assert (args.systems, args.nprocs, args.preset) == \
+            ("tmk,pvm", "8", "bench")
+        assert args.jobs is None and not args.no_cache
+        assert args.cache_dir is None and args.json is None
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig01", "fig02", "--systems", "tmk",
+             "--nprocs", "2,4", "--preset", "tiny", "--jobs", "3",
+             "--no-cache", "--json", "out.json"])
+        assert args.experiment == ["fig01", "fig02"]
+        assert args.jobs == 3 and args.no_cache
+        assert args.json == "out.json"
+
 
 class TestCommands:
     def test_list_mentions_all_experiments(self):
@@ -133,6 +150,32 @@ class TestCommands:
     def test_profile_unknown_experiment(self):
         with pytest.raises(SystemExit, match="unknown experiment"):
             cmd_profile("fig99", "both", 2, "tiny")
+
+    def test_sweep_serial_and_json_report(self, tiny_ep, tmp_path):
+        out = tmp_path / "sweep.json"
+        text = cmd_sweep(["fig01"], "tmk,pvm", "2", "bench", jobs=1,
+                         no_cache=False, cache_dir=str(tmp_path / "cache"),
+                         json_out=str(out))
+        assert "fig01" in text and "cache hits" in text
+        import json
+        report = json.loads(out.read_text())
+        assert len(report["runs"]) == 2
+        assert report["cache_hits"] == 0
+        # Re-sweep: everything served from the cache just written.
+        text = cmd_sweep(["fig01"], "tmk,pvm", "2", "bench", jobs=1,
+                         no_cache=False, cache_dir=str(tmp_path / "cache"))
+        assert "2/2 cache hits" in text
+
+    def test_sweep_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cmd_sweep(["fig99"], "tmk", "2", "tiny", jobs=1,
+                      no_cache=True, cache_dir=None)
+
+    def test_main_sweep_dispatch(self, tiny_ep, tmp_path, capsys):
+        assert main(["sweep", "fig01", "--systems", "tmk", "--nprocs", "2",
+                     "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "cache hits" in capsys.readouterr().out
 
     def test_main_dispatch(self, tiny_ep, capsys):
         assert main(["list"]) == 0

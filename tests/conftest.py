@@ -1,0 +1,21 @@
+"""Suite-wide fixtures.
+
+The persistent result cache must never leak between the test suite and a
+developer's real cache (or between test runs): every test session gets a
+fresh temporary cache directory via ``REPRO_CACHE_DIR``.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_result_cache(tmp_path_factory):
+    import os
+    directory = tmp_path_factory.mktemp("repro_cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(directory)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.network import UdpChannel
 from repro.sim.trace import Trace
 
@@ -150,7 +150,7 @@ class TestTrace:
 
     def test_trace_records_when_enabled(self):
         trace = Trace(enabled=True)
-        cluster = Cluster(1, trace=trace)
+        cluster = Cluster(1, config=ClusterConfig(trace=trace))
         cluster.run(lambda proc: proc.trace("kind", "detail"))
         assert len(trace.events) == 1
         assert trace.events[0].kind == "kind"
@@ -162,3 +162,22 @@ class TestTrace:
         assert len(trace.of_kind("a")) == 1
         assert "P1" in trace.format()
         assert trace.format(limit=1).count("\n") == 0
+
+
+class TestLegacyKwargs:
+    """The pre-ClusterConfig constructor spelling: deprecated but working."""
+
+    def test_legacy_kwargs_warn_and_still_work(self):
+        trace = Trace(enabled=True)
+        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
+            cluster = Cluster(1, trace=trace)
+        cluster.run(lambda proc: proc.trace("kind", "detail"))
+        assert len(trace.events) == 1
+
+    def test_config_form_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            Cluster(1, config=ClusterConfig(trace=Trace()))
+            Cluster(1)  # bare form stays silent too

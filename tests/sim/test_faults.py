@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, EngineDeadlock
 from repro.sim.faults import FaultPlan, TransportError
@@ -149,7 +149,7 @@ class TestPermanentCrashes:
 
 # ----------------------------------------------------------------------
 def _lossy_cluster(plan, nprocs=2):
-    cluster = Cluster(nprocs, faults=plan)
+    cluster = Cluster(nprocs, config=ClusterConfig(faults=plan))
     inbox = []
     return cluster, inbox
 
@@ -221,7 +221,7 @@ class TestReliableUdp:
 
     def test_retry_cap_raises_transport_error(self):
         plan = FaultPlan(seed=1, loss=1.0, retry_cap=3)
-        cluster = Cluster(2, faults=plan)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan))
         udp = UdpChannel(cluster.net)
 
         def main(proc):
@@ -239,7 +239,7 @@ class TestReliableUdp:
 
 class TestTcpFaults:
     def _one_send(self, plan, nbytes=1000):
-        cluster = Cluster(2, faults=plan)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan))
         tcp = TcpChannel(cluster.net)
         arrivals = []
 

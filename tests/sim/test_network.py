@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.costmodel import CostModel
 from repro.sim.network import Link, TcpChannel, UdpChannel
 
@@ -50,7 +50,7 @@ class TestLink:
 
 
 def _echo_cluster(nprocs=2, cost=None):
-    cluster = Cluster(nprocs, cost=cost)
+    cluster = Cluster(nprocs, config=ClusterConfig(cost=cost))
     inbox = []
 
     def main(proc):

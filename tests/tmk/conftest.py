@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.cluster import Cluster
+from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.trace import Trace
 from repro.tmk.api import TmkConfig, attach_tmk
 
@@ -13,8 +13,8 @@ def tmk_run():
     ClusterResult.  Usage: ``result = tmk_run(fn, nprocs=4)``."""
 
     def runner(fn, nprocs=1, config=None, trace=None, cost=None):
-        cluster = Cluster(nprocs, cost=cost,
-                          trace=trace if trace is not None else Trace())
+        cluster = Cluster(nprocs, config=ClusterConfig(
+            cost=cost, trace=trace if trace is not None else Trace()))
         attach_tmk(cluster, config if config is not None
                    else TmkConfig(segment_bytes=1 << 20))
         return cluster.run(fn)

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tmk.diffs import Diff, RUN_HEADER_BYTES, WORD, coalesce, make_diff
+from repro.tmk.diffs import (Diff, RUN_HEADER_BYTES, WORD, coalesce,
+                             make_diff, make_diffs)
 
 PAGE = 4096
 
@@ -193,3 +194,58 @@ def test_coalesce_equals_sequential_application(diff_specs):
     merged_target = twin.copy()
     coalesce(diffs).apply(merged_target)
     assert np.array_equal(sequential, merged_target)
+
+
+class TestMakeDiffs:
+    """The batched interval-close kernel must equal per-page make_diff."""
+
+    def _random_pages(self, rng, count, dirty_fraction=0.5):
+        pages, currents, twins = [], [], []
+        for i in range(count):
+            twin = rng.integers(0, 256, PAGE, dtype=np.uint8)
+            cur = twin.copy()
+            if rng.random() < dirty_fraction:
+                for _ in range(rng.integers(1, 6)):
+                    word = int(rng.integers(0, PAGE // WORD))
+                    cur[word * WORD: (word + 1) * WORD] ^= 0xFF
+            pages.append(i)
+            currents.append(cur)
+            twins.append(twin)
+        return pages, currents, twins
+
+    def test_matches_per_page_make_diff(self):
+        rng = np.random.default_rng(7)
+        pages, currents, twins = self._random_pages(rng, 12)
+        batched = make_diffs(pages, currents, twins)
+        singles = [make_diff(p, c, t)
+                   for p, c, t in zip(pages, currents, twins)]
+        assert batched == singles
+
+    def test_empty_batch(self):
+        assert make_diffs([], [], []) == []
+
+    def test_all_clean_pages(self):
+        twin = np.arange(PAGE, dtype=np.uint8)
+        diffs = make_diffs([3, 9], [twin.copy(), twin.copy()],
+                           [twin.copy(), twin.copy()])
+        assert all(d.is_empty for d in diffs)
+        assert [d.page for d in diffs] == [3, 9]
+
+    def test_ragged_batch_falls_back(self):
+        small = np.zeros(WORD * 4, dtype=np.uint8)
+        big = np.zeros(PAGE, dtype=np.uint8)
+        cur_small = small.copy()
+        cur_small[0:WORD] = 1
+        diffs = make_diffs([0, 1], [cur_small, big.copy()], [small, big])
+        assert diffs[0] == make_diff(0, cur_small, small)
+        assert diffs[1].is_empty
+
+    def test_length_mismatch_rejected(self):
+        twin = np.zeros(PAGE, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            make_diffs([0, 1], [twin], [twin])
+
+    def test_non_word_size_rejected(self):
+        odd = np.zeros(WORD * 4 + 1, dtype=np.uint8)
+        with pytest.raises(ValueError):
+            make_diffs([0], [odd.copy()], [odd])

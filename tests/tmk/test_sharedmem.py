@@ -326,7 +326,7 @@ class TestPiecewiseWrite:
         """Integration: the same program through the real IVY piecewise
         path produces the same memory image."""
         from repro.ivy.api import IvyConfig, attach_ivy
-        from repro.sim.cluster import Cluster
+        from repro.sim.cluster import Cluster, ClusterConfig
         from repro.sim.trace import Trace
 
         def main(proc):
@@ -338,7 +338,7 @@ class TestPiecewiseWrite:
             tmk.barrier(1)
             return arr.read().copy()
 
-        cluster = Cluster(4, trace=Trace())
+        cluster = Cluster(4, config=ClusterConfig(trace=Trace()))
         attach_ivy(cluster, IvyConfig(segment_bytes=1 << 20))
         ivy_result = cluster.run(main)
         tmk_result = tmk_run(main, nprocs=4)
