@@ -38,6 +38,7 @@ from repro.bench.cache import (ResultCache, cache_key_from_material,
                                canonical_json, default_cache,
                                source_fingerprint)
 from repro.obs.core import ObsConfig
+from repro.scabd.config import ReplicationConfig
 from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
 from repro.sim.recovery import RecoveryConfig
@@ -56,7 +57,7 @@ __all__ = [
 #: Version of the :class:`RunResult` JSON schema (shared with the disk
 #: cache).  Bump on any incompatible field change; old cached records
 #: then read as misses.
-RESULT_SCHEMA_VERSION = 1
+RESULT_SCHEMA_VERSION = 2
 
 _SYSTEMS = ("tmk", "pvm", "ivy")
 _PRESETS = ("tiny", "bench", "paper")
@@ -128,6 +129,10 @@ class RunConfig:
     obs: Optional[ObsConfig] = None
     #: Hardware cost-model override (``None`` = the paper's testbed).
     cost: Optional[CostModel] = None
+    #: SC-ABD failure masking: replicate pages on a quorum of dedicated
+    #: servers so minority crashes are absorbed without rollback
+    #: (tmk only; an alternative to checkpointing, not an addition).
+    replication: Optional[ReplicationConfig] = None
 
     def __post_init__(self) -> None:
         if self.system not in _SYSTEMS:
@@ -141,6 +146,18 @@ class RunConfig:
         if self.analysis is not None and self.analysis.enabled \
                 and self.system != "tmk":
             raise ValueError("the sanitizer requires system='tmk'")
+        if self.replication is not None:
+            if self.system != "tmk":
+                raise ValueError(
+                    "replication (failure masking) requires system='tmk'")
+            if self.analysis is not None and self.analysis.enabled:
+                raise ValueError(
+                    "the sanitizer cannot run under quorum replication")
+            if self.recovery is not None \
+                    and self.recovery.checkpoint_interval > 0:
+                raise ValueError(
+                    "masking and rollback are alternatives: replication "
+                    "cannot be combined with checkpointing")
 
     # ------------------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:
@@ -154,6 +171,7 @@ class RunConfig:
             "analysis": _jsonify(self.analysis),
             "obs": _jsonify(self.obs),
             "cost": _jsonify(self.cost),
+            "replication": _jsonify(self.replication),
         }
 
     @classmethod
@@ -170,6 +188,8 @@ class RunConfig:
                                           data.get("analysis")),
             obs=_dataclass_from_json(ObsConfig, data.get("obs")),
             cost=_dataclass_from_json(CostModel, data.get("cost")),
+            replication=_dataclass_from_json(ReplicationConfig,
+                                             data.get("replication")),
         )
 
 
@@ -199,6 +219,9 @@ class RunResult:
     link_utilization: float = 0.0
     #: Crash-recovery ledger summary (``None`` for fault-free runs).
     recovery: Optional[Dict[str, Any]] = None
+    #: Quorum-replication ledger summary (``None`` unless the run used
+    #: the SC-ABD failure-masking mode).
+    replication: Optional[Dict[str, Any]] = None
     schema_version: int = RESULT_SCHEMA_VERSION
 
     # -- process-local, never serialized --------------------------------
@@ -228,6 +251,7 @@ class RunResult:
             "kbytes": self.kbytes,
             "link_utilization": self.link_utilization,
             "recovery": self.recovery,
+            "replication": self.replication,
         }
 
     def to_json_bytes(self) -> bytes:
@@ -252,6 +276,7 @@ class RunResult:
             kbytes=data["kbytes"],
             link_utilization=data.get("link_utilization", 0.0),
             recovery=data.get("recovery"),
+            replication=data.get("replication"),
             cached=cached,
             cache_key=cache_key,
         )
@@ -351,7 +376,8 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
     par = harness.run_cached(
         config.experiment, config.system, config.nprocs, config.preset,
         faults=config.faults, analysis=config.analysis,
-        recovery=config.recovery, obs=config.obs, cost=config.cost)
+        recovery=config.recovery, obs=config.obs, cost=config.cost,
+        replication=config.replication)
     seq = harness.seq_time(config.experiment, config.preset)
     recovery = None
     if par.recovery is not None:
@@ -365,6 +391,20 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
             "restored_bytes": report.restored_bytes,
             "overhead_time": report.overhead_time,
         }
+    replication = None
+    if par.replication is not None:
+        rep = par.replication
+        replication = {
+            "replicas": rep.replicas,
+            "f_max": rep.f_max,
+            "masked_failures": rep.masked_failures,
+            "masked_nodes": list(rep.masked_nodes),
+            "detection_latency": rep.detection_latency,
+            "quorum_reads": rep.quorum_reads,
+            "quorum_writes": rep.quorum_writes,
+            "messages": rep.messages,
+            "bytes": rep.bytes,
+        }
     result = RunResult(
         experiment=config.experiment,
         system=config.system,
@@ -376,6 +416,7 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
         kbytes=par.total_kbytes(),
         link_utilization=par.cluster.link_utilization,
         recovery=recovery,
+        replication=replication,
         parallel=par,
     )
     if store is not None:

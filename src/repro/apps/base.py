@@ -27,6 +27,8 @@ from repro.sim.trace import Trace
 from repro.tmk.api import TmkConfig, attach_tmk
 from repro.ivy.api import IvyConfig, attach_ivy
 from repro.pvm.api import attach_pvm
+from repro.scabd import (ReplicationConfig, ReplicationReport, ScAbdConfig,
+                         attach_scabd)
 
 __all__ = [
     "APPS",
@@ -105,6 +107,9 @@ class ParallelResult:
     #: Crash-recovery ledger (None unless a recovery config was given or
     #: the fault plan scheduled a permanent crash).
     recovery: Optional[RecoveryReport] = None
+    #: Quorum-replication ledger (None unless the run used the SC-ABD
+    #: failure-masking mode).
+    replication: Optional[ReplicationReport] = None
     #: Span timeline (repro.obs.Timeline) when ObsConfig.timeline was on.
     timeline: Optional[Any] = None
     #: Time-attribution profiler (repro.obs.TimeProfiler) when
@@ -170,7 +175,9 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  faults: Optional[FaultPlan] = None,
                  analysis: Optional[AnalysisConfig] = None,
                  recovery: Optional[RecoveryConfig] = None,
-                 obs: Optional[ObsConfig] = None) -> ParallelResult:
+                 obs: Optional[ObsConfig] = None,
+                 replication: Optional[ReplicationConfig] = None
+                 ) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -190,6 +197,17 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     the final result is bit-identical to the fault-free run.  Returns
     the application result, the measured virtual time, and the message
     statistics.
+
+    ``replication`` selects the SC-ABD failure-*masking* mode instead
+    (``system`` must be ``"tmk"``): the cluster grows by
+    ``replication.replicas`` dedicated page-replica servers, page data
+    moves through majority quorums, and the crash of a replica minority
+    is absorbed without any rollback -- the result stays bit-identical
+    to the fault-free run and only the quorum traffic (the
+    ``"replication"`` stats system) and quorum waits are added.  Masking
+    and rollback are alternatives: with ``replication`` set there are no
+    checkpoints, and an unmaskable crash (an application rank, or one
+    replica too many) aborts the run with ``NodeFailure``.
     """
     spec = get_app(app) if isinstance(app, str) else app
     if system not in ("tmk", "pvm", "ivy"):
@@ -201,15 +219,34 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         raise ValueError(f"the sanitizer requires system='tmk', got {system!r}")
     if obs is not None and not obs.enabled:
         obs = None
+    mask = replication is not None
+    if mask and system != "tmk":
+        raise ValueError(
+            f"replication (failure masking) requires system='tmk', "
+            f"got {system!r}")
+    if mask and analysis is not None:
+        raise ValueError("the sanitizer cannot run under quorum replication")
+    if mask and recovery is not None and recovery.checkpoint_interval > 0:
+        raise ValueError(
+            "masking and rollback are alternatives: replication cannot be "
+            "combined with checkpointing (checkpoint_interval > 0)")
     if recovery is None and faults is not None and faults.crash_at:
         recovery = RecoveryConfig()
-    report = RecoveryReport() if recovery is not None else None
+    report = RecoveryReport() if (recovery is not None and not mask) else None
     plan = faults
     while True:
-        cluster = Cluster(nprocs, config=ClusterConfig(
+        total_procs = nprocs + (replication.replicas if mask else 0)
+        cluster = Cluster(total_procs, config=ClusterConfig(
             cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs))
         sanitizer = None
-        if system == "tmk":
+        scabd_system = None
+        if mask:
+            endpoints = attach_scabd(
+                cluster, ScAbdConfig(segment_bytes=spec.segment_bytes),
+                replication)
+            scabd_system = endpoints[0].system
+            main = spec.tmk_main
+        elif system == "tmk":
             config = tmk_config
             if config is None:
                 config = TmkConfig(segment_bytes=spec.segment_bytes)
@@ -227,7 +264,10 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
             outcome = cluster.run(main, args=(params,))
             break
         except NodeFailure as failure:
-            if report is None:  # pragma: no cover - defensive
+            if report is None:
+                # Masking mode (or no recovery at all): there is no
+                # checkpoint to roll back to, so an unmaskable crash
+                # surfaces to the caller as a clean abort.
                 raise
             # Survivors roll back to the failure's last checkpoint and
             # re-execute; deterministically equivalent to this re-run.
@@ -241,17 +281,22 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         outcome.stats.record("recovery", "rollback",
                              messages=report.recoveries,
                              nbytes=report.restored_bytes)
+    # Replica servers return nothing; the application's results (and its
+    # endpoints) are the first ``nprocs`` entries.
+    app_procs = cluster.procs[:nprocs]
     return ParallelResult(
-        result=spec.collect(outcome.results),
+        result=spec.collect(outcome.results[:nprocs]),
         time=time,
         stats=outcome.stats,
         cluster=outcome,
         nprocs=nprocs,
         system=system,
         endpoints=[proc.pvm if system == "pvm" else proc.tmk
-                   for proc in cluster.procs],
+                   for proc in app_procs],
         sanitizer=sanitizer,
         recovery=report,
+        replication=(scabd_system.report() if scabd_system is not None
+                     else None),
         timeline=cluster.obs.timeline if cluster.obs is not None else None,
         profiler=cluster.obs.profiler if cluster.obs is not None else None,
     )

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.races import AnalysisConfig
 from repro.apps import base
+from repro.scabd.config import ReplicationConfig
 from repro.sim.costmodel import CostModel
 from repro.sim.faults import FaultPlan
 from repro.sim.recovery import RecoveryConfig
@@ -168,7 +169,9 @@ def run_cached(exp_id: str, system: str, nprocs: int,
                analysis: Optional[AnalysisConfig] = None,
                recovery: Optional[RecoveryConfig] = None,
                obs: Optional[ObsConfig] = None,
-               cost: Optional[CostModel] = None) -> base.ParallelResult:
+               cost: Optional[CostModel] = None,
+               replication: Optional[ReplicationConfig] = None
+               ) -> base.ParallelResult:
     """One parallel run, memoized in-process, with its result verified
     against the sequential version (every bench run is also a correctness
     check -- including lossy and crash/recovery runs, whose results must
@@ -184,14 +187,14 @@ def run_cached(exp_id: str, system: str, nprocs: int,
     if obs is not None and not obs.enabled:
         obs = None
     key = (exp_id, preset, system, nprocs, faults, analysis, recovery, obs,
-           cost)
+           cost, replication)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
                                    params_for(exp, preset), cost=cost,
                                    faults=faults,
                                    analysis=analysis, recovery=recovery,
-                                   obs=obs)
+                                   obs=obs, replication=replication)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

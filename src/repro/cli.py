@@ -51,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="NODE@TIME",
                        help="permanently crash NODE at virtual TIME "
                             "seconds (repeatable); the run detects the "
-                            "failure, rolls back, and re-executes")
+                            "failure and recovers per --ft-mode")
         p.add_argument("--checkpoint-interval", type=checkpoint_interval,
                        default=0.0, metavar="SECONDS",
                        help="coordinated checkpoint spacing in virtual "
@@ -71,6 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--false-sharing-report", action="store_true",
                      help="print the per-page false-sharing analysis "
                           "(tmk only)")
+    run.add_argument("--ft-mode", choices=("rollback", "mask"),
+                     default="rollback",
+                     help="fault-tolerance strategy for --crash: "
+                          "'rollback' (checkpoint + re-execute, the "
+                          "default) or 'mask' (SC-ABD quorum replication; "
+                          "tmk only -- minority replica crashes are "
+                          "absorbed with no rollback at all)")
+    run.add_argument("--replicas", type=int, default=3, metavar="N",
+                     help="page-replica servers in --ft-mode mask "
+                          "(N replicas mask up to (N-1)//2 crashes; "
+                          "default 3)")
     add_fault_flags(run)
 
     sweep = sub.add_parser(
@@ -205,7 +216,8 @@ def cmd_list() -> str:
 def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             faults=None, race_check: str = "off",
             false_sharing: bool = False,
-            checkpoint_every: float = 0.0) -> str:
+            checkpoint_every: float = 0.0,
+            ft_mode: str = "rollback", replicas: int = 3) -> str:
     from repro import api
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
@@ -221,23 +233,55 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
         analysis = AnalysisConfig(race_check=race_check,
                                   false_sharing=false_sharing)
     from repro.sim.recovery import NodeFailure
+    replication = None
+    if ft_mode == "mask":
+        if system != "tmk":
+            raise SystemExit("--ft-mode mask requires --system tmk")
+        if checkpoint_every:
+            raise SystemExit("--ft-mode mask has no rollback: drop "
+                             "--checkpoint-interval (masking and "
+                             "checkpointing are alternatives)")
+        if analysis is not None:
+            raise SystemExit("--race-check/--false-sharing-report cannot "
+                             "run under --ft-mode mask")
+        from repro.scabd import ReplicationConfig
+        try:
+            replication = ReplicationConfig(replicas=replicas)
+        except ValueError as exc:
+            raise SystemExit(f"bad --replicas: {exc}")
     recovery = None
-    if checkpoint_every or (faults is not None and faults.crash_at):
+    #: In mask mode the crash targets may be replica servers: pids
+    #: nprocs .. nprocs+replicas-1, appended after the application ranks.
+    crash_range = nprocs + (replicas if replication is not None else 0)
+    for node, _ in (faults.crash_at if faults is not None else ()):
+        if node >= crash_range:
+            raise SystemExit(
+                f"--crash node {node} out of range: the run has "
+                f"{crash_range} processors"
+                + (f" ({nprocs} application + {replicas} replica)"
+                   if replication is not None else ""))
+    if replication is None and (
+            checkpoint_every or (faults is not None and faults.crash_at)):
         from repro.sim.recovery import RecoveryConfig
-        for node, _ in (faults.crash_at if faults is not None else ()):
-            if node >= nprocs:
-                raise SystemExit(f"--crash node {node} out of range: "
-                                 f"the run has {nprocs} processors")
         recovery = RecoveryConfig(checkpoint_interval=checkpoint_every)
     exp = harness.EXPERIMENTS[experiment]
     config = api.RunConfig(experiment=experiment, system=system,
                            nprocs=nprocs, preset=preset, faults=faults,
-                           analysis=analysis, recovery=recovery)
+                           analysis=analysis, recovery=recovery,
+                           replication=replication)
     try:
         # want_parallel: the report below needs the live run (stats
         # buckets, sanitizer, mechanism breakdown), not just the summary.
         result = api.run(config, want_parallel=True)
     except NodeFailure as failure:
+        if replication is not None:
+            raise SystemExit(
+                f"unmaskable failure: {failure}\n"
+                f"(hint: {replicas} replicas mask up to "
+                f"{(replicas - 1) // 2} *replica* crashes; an application-"
+                "rank crash or one dead replica too many aborts the run "
+                "-- use --ft-mode rollback with --checkpoint-interval to "
+                "survive those)")
         raise SystemExit(f"unrecoverable failure: {failure}\n"
                          "(hint: --checkpoint-interval bounds the work "
                          "lost per crash; multiple crashes within one "
@@ -277,7 +321,25 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
         for category, counter in run.stats.recovery().items():
             rows.append(f"  {category:<18} {counter.messages:>8d} msgs "
                         f"{counter.bytes / 1024.0:>10.1f} KB")
-    if system == "tmk":
+    if run.replication is not None:
+        rep = run.replication
+        rows += ["", "failure masking (SC-ABD quorum replication):",
+                 f"  replica servers     {rep.replicas} "
+                 f"(masks up to {rep.f_max} replica crashes)",
+                 f"  masked failures     {rep.masked_failures}"
+                 + (f" (nodes {rep.masked_nodes})"
+                    if rep.masked_nodes else ""),
+                 f"  detection latency   {rep.detection_latency * 1e3:10.2f} ms",
+                 f"  quorum reads        {rep.quorum_reads:10d}",
+                 f"  quorum writes       {rep.quorum_writes:10d}",
+                 f"  quorum traffic      {rep.messages:10d} msgs "
+                 f"{rep.bytes / 1024.0:10.1f} KB"]
+        for category, counter in run.stats.replication().items():
+            rows.append(f"  {category:<18} {counter.messages:>8d} msgs "
+                        f"{counter.bytes / 1024.0:>10.1f} KB")
+    if system == "tmk" and run.replication is None:
+        # The mechanism breakdown decomposes LRC diff/twin costs, which
+        # the quorum-replicated (SC) protocol does not have.
         rows += ["", render_breakdown(exp.label, decompose(run))]
     if run.sanitizer is not None:
         rows += ["", run.sanitizer.summary()]
@@ -404,7 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(cmd_run(args.experiment, args.system, args.nprocs, args.preset,
                       faults=plan, race_check=args.race_check,
                       false_sharing=args.false_sharing_report,
-                      checkpoint_every=args.checkpoint_interval))
+                      checkpoint_every=args.checkpoint_interval,
+                      ft_mode=args.ft_mode, replicas=args.replicas))
     elif args.command == "sweep":
         print(cmd_sweep(args.experiment, args.systems, args.nprocs,
                         args.preset, args.jobs, args.no_cache,

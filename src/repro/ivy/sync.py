@@ -41,11 +41,15 @@ class _LockState:
 class IvyLocks:
     """Static-manager forwarding locks (no consistency piggyback)."""
 
-    def __init__(self, proc: "Processor", core: "IvyCore") -> None:
+    def __init__(self, proc: "Processor", core: "IvyCore",
+                 nprocs: Optional[int] = None) -> None:
         self.proc = proc
         self.core = core
         self.pid = proc.pid
-        self.nprocs = proc.cluster.nprocs
+        #: Participant count; defaults to the whole cluster.  The SC-ABD
+        #: layer passes its client count so lock managers land on
+        #: application ranks, never on page-replica servers.
+        self.nprocs = nprocs if nprocs is not None else proc.cluster.nprocs
         self.cost = proc.cluster.cost
         self._last_requester: Dict[int, int] = {}
         self._state: Dict[int, _LockState] = {}
@@ -149,11 +153,12 @@ class IvyLocks:
 class IvyBarrier:
     """Centralized barrier, 2*(n-1) messages, no write notices."""
 
-    def __init__(self, proc: "Processor", core: "IvyCore") -> None:
+    def __init__(self, proc: "Processor", core: "IvyCore",
+                 nprocs: Optional[int] = None) -> None:
         self.proc = proc
         self.core = core
         self.pid = proc.pid
-        self.nprocs = proc.cluster.nprocs
+        self.nprocs = nprocs if nprocs is not None else proc.cluster.nprocs
         self.cost = proc.cluster.cost
         self.manager = 0
         self._arrivals: Dict[int, List[Tuple[int, float]]] = {}

@@ -33,6 +33,7 @@ __all__ = [
     "B_COMPUTE",
     "B_PROTOCOL",
     "B_RECOVERY",
+    "B_REPLICATION",
     "B_STALL_DATA",
     "B_STALL_SYNC",
     "B_WIRE",
@@ -50,9 +51,10 @@ B_PROTOCOL = "protocol"        #: runtime-library CPU (service, twins, diffs,
 B_STALL_SYNC = "stall_sync"    #: blocked on synchronization (locks, barriers)
 B_STALL_DATA = "stall_data"    #: blocked on data (page faults, pvm_recv)
 B_RECOVERY = "recovery"        #: checkpoint writes and rollback overhead
+B_REPLICATION = "replication"  #: blocked on SC-ABD quorum reads/writes
 
 BUCKETS = (B_COMPUTE, B_WIRE, B_PROTOCOL, B_STALL_SYNC, B_STALL_DATA,
-           B_RECOVERY)
+           B_RECOVERY, B_REPLICATION)
 
 
 @dataclass(frozen=True)

@@ -45,7 +45,7 @@ __all__ = [
 _B_COMPUTE = "compute"
 _B_PROTOCOL = "protocol"
 _BUCKETS = ("compute", "wire", "protocol", "stall_sync", "stall_data",
-            "recovery")
+            "recovery", "replication")
 
 _MECH_KEYS = ("request_time", "accum_time", "diff_requests", "accum_bytes")
 

@@ -1,0 +1,261 @@
+"""The SC-ABD runtime facade.
+
+Mirrors :mod:`repro.ivy.api`: ``attach_scabd`` gives every *application*
+processor a ``proc.tmk`` endpoint exposing exactly the interface the
+TreadMarks applications use (``barrier``, ``lock_acquire``/
+``lock_release``, ``shared_array``), so every ``tmk_main`` in
+:mod:`repro.apps` runs unmodified under quorum replication.  The last
+``replicas`` processors of the cluster become dedicated page-replica
+servers: they never run the application function (their main body is an
+idle daemon loop; all replica work happens in message handlers) and are
+excluded from the elapsed-time measurement -- the cost of replication
+shows up where it is *paid*, in the clients' quorum waits and in the
+``"replication"`` wire traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.core import B_STALL_SYNC
+from repro.scabd.config import ReplicationConfig
+from repro.scabd.core import ScAbdCore, ScAbdReplica
+from repro.ivy.sync import IvyBarrier, IvyLocks
+from repro.tmk.sharedmem import SharedArray, SharedHeap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.cluster import Cluster, Processor
+
+__all__ = ["ReplicationReport", "ScAbd", "ScAbdConfig", "ScAbdSystem",
+           "attach_scabd"]
+
+
+@dataclass(frozen=True)
+class ScAbdConfig:
+    """Cluster-wide SC-ABD configuration (heap layout)."""
+
+    segment_bytes: int = 1 << 23
+
+
+@dataclass
+class ReplicationReport:
+    """What the quorum-replication layer did during one run."""
+
+    replicas: int
+    f_max: int
+    #: Replica crashes absorbed without rollback, in masking order.
+    masked_nodes: List[int] = field(default_factory=list)
+    #: Sum over masked crashes of (detect time - crash time): how long
+    #: each dead replica kept receiving (futile) quorum traffic.
+    detection_latency: float = 0.0
+    quorum_reads: int = 0
+    quorum_writes: int = 0
+    #: Quorum wire traffic (the ``"replication"`` stats system).
+    messages: int = 0
+    bytes: int = 0
+
+    @property
+    def masked_failures(self) -> int:
+        return len(self.masked_nodes)
+
+
+class ScAbdSystem:
+    """Cluster-global SC-ABD state: heap layout, replica set, liveness."""
+
+    def __init__(self, cluster: "Cluster", config: ScAbdConfig,
+                 replication: ReplicationConfig) -> None:
+        if config.segment_bytes % cluster.cost.page_size:
+            raise ValueError("segment size must be a multiple of the page size")
+        nclients = cluster.nprocs - replication.replicas
+        if nclients < 1:
+            raise ValueError(
+                f"cluster of {cluster.nprocs} cannot host "
+                f"{replication.replicas} replica servers and still have "
+                "an application processor")
+        self.cluster = cluster
+        self.config = config
+        self.replication = replication
+        self.nclients = nclients
+        #: Pids of the dedicated page-replica servers.
+        self.replica_pids: Tuple[int, ...] = tuple(
+            range(nclients, nclients + replication.replicas))
+        #: Replica pids the failure detector declared dead (masked).
+        self.dead: set[int] = set()
+        #: (node, t_crash, t_detect) per masked crash, in masking order.
+        self.masked: List[Tuple[int, float, float]] = []
+        self.heap = SharedHeap(config.segment_bytes, cluster.cost.page_size)
+        self.replicas: List[ScAbdReplica] = []
+        self.endpoints: List["ScAbd"] = []
+
+    def live_replicas(self) -> List[int]:
+        """Replica pids quorum traffic still goes to (sorted)."""
+        return [pid for pid in self.replica_pids if pid not in self.dead]
+
+    # ------------------------------------------------------------------
+    def on_node_failure(self, node: int, t_crash: float,
+                        t_detect: float) -> bool:
+        """Failure-detector listener: mask a minority replica crash.
+
+        Returns True (masked) only for a *replica* crash that leaves at
+        most ``f_max`` replicas dead: quorums are majorities, so with
+        ``replicas - f_max >= majority`` survivors every quorum still
+        forms and the run proceeds untouched.  An application-rank crash,
+        or one dead replica too many, returns False and the shared
+        detector declares :class:`~repro.sim.recovery.NodeFailure` as
+        usual (clean abort -- this mode has no rollback to fall back on).
+        """
+        if node not in self.replica_pids:
+            return False
+        if len(self.dead) + 1 > self.replication.f_max:
+            return False
+        self.dead.add(node)
+        self.masked.append((node, t_crash, t_detect))
+        # Reliable-delivery timers aimed at (or owned by) the dead node
+        # would retransmit into silence until their retry cap turned the
+        # masked crash into a spurious TransportError.
+        self.cluster.net.cancel_pending_to(node)
+        self.cluster.stats.record("replication", "masked_failure",
+                                  messages=1, nbytes=0)
+        return True
+
+    # ------------------------------------------------------------------
+    def report(self) -> ReplicationReport:
+        """Summarize the layer's activity (call after the run)."""
+        out = ReplicationReport(replicas=self.replication.replicas,
+                                f_max=self.replication.f_max)
+        for node, t_crash, t_detect in self.masked:
+            out.masked_nodes.append(node)
+            out.detection_latency += t_detect - t_crash
+        for endpoint in self.endpoints:
+            out.quorum_reads += endpoint.core.quorum_reads
+            out.quorum_writes += endpoint.core.quorum_writes
+        total = self.cluster.stats.total("replication")
+        out.messages = total.messages
+        out.bytes = total.bytes
+        return out
+
+
+class ScAbd:
+    """Per-client SC-ABD endpoint; interface-compatible with ``Tmk``."""
+
+    def __init__(self, proc: "Processor", system: ScAbdSystem) -> None:
+        self.proc = proc
+        self.system = system
+        self.core = ScAbdCore(proc, system)
+        # Sync managers span only the client ranks: a lock manager or
+        # barrier master on a replica server could crash and be masked,
+        # which would strand the synchronization state with it.
+        self.locks = IvyLocks(proc, self.core, nprocs=system.nclients)
+        self.barriers = IvyBarrier(proc, self.core, nprocs=system.nclients)
+        self._arrays: Dict[str, SharedArray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    @property
+    def nprocs(self) -> int:
+        """The *application* processor count: replica servers are
+        invisible to the programming model, so work partitioning and
+        barrier membership never include them."""
+        return self.system.nclients
+
+    # ------------------------------------------------------------------
+    def barrier(self, bid: int) -> None:
+        proc = self.proc
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, proc.pid, "barrier", B_STALL_SYNC,
+                      f"bid={bid}")
+        self.barriers.barrier(bid)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
+
+    def lock_acquire(self, lock: int) -> None:
+        proc = self.proc
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, proc.pid, "lock_acquire", B_STALL_SYNC,
+                      f"lock={lock}")
+        self.locks.acquire(lock)
+        if obs is not None:
+            obs.end(proc.now, proc.pid)
+
+    def lock_release(self, lock: int) -> None:
+        self.locks.release(lock)
+
+    # ------------------------------------------------------------------
+    def malloc(self, nbytes: int, align: int | None = None) -> int:
+        return self.system.heap.malloc(nbytes, align)
+
+    def array_at(self, addr: int, shape: Tuple[int, ...], dtype) -> SharedArray:
+        return SharedArray(self, addr, shape, np.dtype(dtype))
+
+    def shared_array(self, name: str, shape: Tuple[int, ...], dtype,
+                     align: int | None = None) -> SharedArray:
+        arr = self._arrays.get(name)
+        if arr is None:
+            addr = self.system.heap.named(name, tuple(shape),
+                                          np.dtype(dtype), align)
+            arr = SharedArray(self, addr, tuple(shape), np.dtype(dtype))
+            self._arrays[name] = arr
+        return arr
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_count(self) -> int:
+        return self.core.read_faults + self.core.write_faults
+
+    @property
+    def lock_wait_time(self) -> float:
+        return self.locks.wait_time
+
+    @property
+    def barrier_wait_time(self) -> float:
+        return self.barriers.wait_time
+
+
+def _replica_main(proc: "Processor") -> None:
+    """Main body of a page-replica server: park forever.
+
+    All replica work happens in message handlers; this daemon thread only
+    exists so the processor has a clock to charge service time to.  The
+    engine retires it (via ``SimThread`` stop) once every application
+    thread has finished.
+    """
+    while True:
+        proc.block("scabd replica idle")
+
+
+def attach_scabd(cluster: "Cluster", config: Optional[ScAbdConfig] = None,
+                 replication: Optional[ReplicationConfig] = None
+                 ) -> List[ScAbd]:
+    """Attach the SC-ABD runtime: clients + replica servers + detector.
+
+    The cluster must be sized ``nclients + replication.replicas``; the
+    last ``replicas`` processors become page-replica servers.  Returns
+    the client endpoints (also set as ``proc.tmk``, the attribute the
+    applications use).
+    """
+    system = ScAbdSystem(cluster,
+                         config if config is not None else ScAbdConfig(),
+                         replication if replication is not None
+                         else ReplicationConfig())
+    endpoints = []
+    for pid in range(system.nclients):
+        proc = cluster.procs[pid]
+        proc.tmk = ScAbd(proc, system)
+        endpoints.append(proc.tmk)
+    system.endpoints = endpoints
+    for pid in system.replica_pids:
+        proc = cluster.procs[pid]
+        proc.main_override = _replica_main
+        system.replicas.append(ScAbdReplica(proc, system))
+        cluster.service_pids.add(pid)
+    if cluster.recovery is not None:
+        cluster.recovery.add_failure_listener(system.on_node_failure)
+    return endpoints

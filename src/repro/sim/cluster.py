@@ -76,6 +76,11 @@ class Processor:
         #: Runtime attachment points, set by the TreadMarks / PVM layers.
         self.tmk: Any = None
         self.pvm: Any = None
+        #: Replacement main body for service processors (e.g. SC-ABD page
+        #: replicas): ``Cluster.run`` spawns this instead of the
+        #: application function, as a daemon thread that is retired once
+        #: the application threads complete.
+        self.main_override: Optional[Callable[["Processor"], Any]] = None
         #: Observability facade (repro.obs), or None when disabled; the
         #: runtime layers test this pointer before recording anything.
         self.obs: Optional[Obs] = None
@@ -269,6 +274,11 @@ class Cluster:
             recovery_cfg = RecoveryConfig()
         if recovery_cfg is not None:
             self.recovery = RecoveryManager(self, recovery_cfg)
+        #: Pids of service processors (replica servers): they host daemon
+        #: threads, never run the application function, and are excluded
+        #: from the elapsed-time measurement (their quorum work is charged
+        #: to the *clients* that wait on it).
+        self.service_pids: set[int] = set()
         self._measure_from = 0.0
         self._measure_until: Optional[float] = None
         self._frozen_stats: Optional[MessageStats] = None
@@ -316,8 +326,14 @@ class Cluster:
     def run(self, fn: Callable[..., Any], args: Sequence[Any] = ()) -> ClusterResult:
         """Run ``fn(proc, *args)`` on every processor to completion."""
         for proc in self.procs:
-            proc.thread = self.engine.spawn(
-                f"P{proc.pid}", (lambda p=proc: fn(p, *args)))
+            body = proc.main_override
+            if body is not None:
+                proc.thread = self.engine.spawn(
+                    f"P{proc.pid}", (lambda p=proc, b=body: b(p)),
+                    daemon=True)
+            else:
+                proc.thread = self.engine.spawn(
+                    f"P{proc.pid}", (lambda p=proc: fn(p, *args)))
         if self.recovery is not None:
             self.recovery.install()
         self.engine.run()
@@ -326,7 +342,11 @@ class Cluster:
         finish = [proc.thread.clock for proc in self.procs]
         if self.obs is not None:
             self.obs.finalize(finish)
-        elapsed = max(finish)
+        if self.service_pids:
+            elapsed = max(t for pid, t in enumerate(finish)
+                          if pid not in self.service_pids)
+        else:
+            elapsed = max(finish)
         if self._measure_until is not None:
             elapsed = self._measure_until
         return ClusterResult(

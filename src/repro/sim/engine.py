@@ -93,10 +93,12 @@ class SimThread:
         "exception",
         "_wake_time",
         "_killed",
+        "daemon",
+        "_stop",
     )
 
     def __init__(self, engine: "Engine", tid: int, name: str, clock: float,
-                 fn: Callable[[], Any]):
+                 fn: Callable[[], Any], daemon: bool = False):
         self.engine = engine
         self.tid = tid
         self.name = name
@@ -109,6 +111,11 @@ class SimThread:
         self.exception: Optional[BaseException] = None
         self._wake_time: float = clock
         self._killed = False
+        #: Daemon threads (e.g. replica servers) do not keep the simulation
+        #: alive: once every non-daemon thread finishes they are stopped
+        #: gracefully and unwound.
+        self.daemon = daemon
+        self._stop = False
         self._host = threading.Thread(
             target=self._bootstrap, name=f"sim:{name}", daemon=True)
 
@@ -157,6 +164,8 @@ class SimThread:
             raise SimAborted()
         if self._killed:
             raise ThreadKilled()
+        if self._stop:
+            raise SimAborted()
         self.state = _RUNNING
 
     def block(self, reason: str) -> float:
@@ -165,6 +174,13 @@ class SimThread:
         Returns the wake-up virtual time; the clock has already been advanced
         to ``max(clock, wake_time)``.
         """
+        # A pending kill/stop must unwind here, not after the wake: the
+        # killer (or the daemon-retire sweep) has already run, so nobody
+        # is left to unblock a thread that parks *after* being told to go.
+        if self._killed:
+            raise ThreadKilled()
+        if self._stop:
+            raise SimAborted()
         self.state = _BLOCKED
         self.block_reason = reason
         self.engine._back.set()
@@ -174,6 +190,8 @@ class SimThread:
             raise SimAborted()
         if self._killed:
             raise ThreadKilled()
+        if self._stop:
+            raise SimAborted()
         self.state = _RUNNING
         self.block_reason = None
         if self._wake_time > self.clock:
@@ -221,11 +239,12 @@ class Engine:
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def spawn(self, name: str, fn: Callable[[], Any], clock: float = 0.0) -> SimThread:
+    def spawn(self, name: str, fn: Callable[[], Any], clock: float = 0.0,
+              daemon: bool = False) -> SimThread:
         """Register a simulated thread; it starts when :meth:`run` executes."""
         if self._running:
             raise RuntimeError("cannot spawn threads while engine is running")
-        th = SimThread(self, len(self._threads), name, clock, fn)
+        th = SimThread(self, len(self._threads), name, clock, fn, daemon=daemon)
         self._threads.append(th)
         return th
 
@@ -262,11 +281,32 @@ class Engine:
             self.unblock(thread, wake_time)
         return True
 
+    def stop(self, thread: SimThread, wake_time: float) -> bool:
+        """Gracefully stop one simulated thread at virtual ``wake_time``.
+
+        Unlike :meth:`kill` this is not a crash: the thread unwinds with a
+        plain :class:`SimAborted` at its next runtime operation and is marked
+        done (``killed`` stays False).  Used to retire daemon threads once
+        the application threads complete.  Returns ``False`` if the thread
+        already finished.
+        """
+        if thread.state == _DONE:
+            return False
+        thread._stop = True
+        if thread.state == _BLOCKED:
+            self.unblock(thread, wake_time)
+        return True
+
     @property
     def finished(self) -> bool:
-        """True once every simulated thread has run to completion."""
-        return bool(self._threads) and all(
-            t.state == _DONE for t in self._threads)
+        """True once every non-daemon simulated thread has run to completion.
+
+        Daemon threads (replica servers) are excluded: they idle until the
+        application finishes and must not make ``finished`` report False
+        while trailing events drain.
+        """
+        threads = [t for t in self._threads if not t.daemon]
+        return bool(threads) and all(t.state == _DONE for t in threads)
 
     def thread_dump(self) -> str:
         """One line per thread: name, tid, state, clock, block reason."""
@@ -316,6 +356,7 @@ class Engine:
             # historical (clock, tid) tie-break exactly.
             next_thread = None
             all_done = True
+            app_done = True
             for t in threads:
                 if t.exception is not None:
                     exc = t.exception
@@ -324,9 +365,23 @@ class Engine:
                 state = t.state
                 if state != _DONE:
                     all_done = False
+                    if not t.daemon:
+                        app_done = False
                     if state == _READY and (next_thread is None
                                             or t.clock < next_thread.clock):
                         next_thread = t
+
+            if app_done and not all_done:
+                # Application threads finished but daemon threads (replica
+                # servers) are still parked: retire them so they unwind
+                # before the trailing-event drain below.
+                stopped = False
+                for t in threads:
+                    if t.daemon and t.state != _DONE and not t._stop:
+                        self.stop(t, t.clock)
+                        stopped = True
+                if stopped:
+                    continue
 
             if all_done:
                 # Drain in-flight events (e.g. messages still on the wire)

@@ -187,6 +187,24 @@ class FaultPlan:
         return replace(self, crash_at=tuple(
             (n, t) for n, t in self.crash_at if n != node))
 
+    def partition_clear_time(self, src: int, dst: int,
+                             now: float) -> Optional[float]:
+        """When the transient partition covering this flow at ``now`` heals.
+
+        Returns the latest ``t1`` over all :attr:`crash_windows` entries
+        that cover ``src`` or ``dst`` at ``now``, or ``None`` if neither
+        endpoint is transiently partitioned.  Permanent crashes
+        (:attr:`crash_at`) are deliberately excluded: a retransmission into
+        a dead-forever host must still burn the retry budget, whereas one
+        into a bounded partition should be held until the window closes
+        rather than spuriously exhausting the cap.
+        """
+        t_clear: Optional[float] = None
+        for node, t0, t1 in self.crash_windows:
+            if node in (src, dst) and t0 <= now < t1:
+                t_clear = t1 if t_clear is None else max(t_clear, t1)
+        return t_clear
+
     def _crashed(self, node: int, now: float) -> bool:
         for crashed, t0, t1 in self.crash_windows:
             if crashed == node and t0 <= now < t1:

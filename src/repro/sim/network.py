@@ -295,6 +295,19 @@ class Network:
             return
         plan = self.faults
         assert plan is not None
+        t_clear = plan.partition_clear_time(pending.src, pending.dst, t_fire)
+        if t_clear is not None:
+            # A transient partition covers this flow right now.  Hold the
+            # timer until the window heals instead of burning the retry
+            # budget into a spurious TransportError: the peer is known to
+            # come back, so the protocol waits it out (attempts unchanged).
+            self._trace(t_fire, pending.src, "partition_hold",
+                        f"{pending.category} seq={pending.seq} "
+                        f"dst=P{pending.dst} until={t_clear:.6f}")
+            self.engine.post(t_clear,
+                             lambda tc=t_clear: self._udp_retransmit(
+                                 pending, tc))
+            return
         if pending.attempts >= plan.retry_cap:
             if self.engine.finished:
                 # The application already finished; a straggling
@@ -371,6 +384,22 @@ class Network:
         if pending is not None:
             pending.acked = True
             self._charge_cpu(pending.src, self.cost.udp_recv_cpu)
+
+    def cancel_pending_to(self, node: int) -> int:
+        """Abandon every unacknowledged reliable datagram to/from ``node``.
+
+        Called when a failure detector declares ``node`` dead and a
+        higher layer masks the failure (quorum replication): the pending
+        sends will never be acknowledged, and without cancellation their
+        retransmission timers would eventually exhaust the retry cap and
+        raise a spurious :class:`TransportError` long after the failure
+        was already handled.  Returns the number of sends cancelled.
+        """
+        stale = [key for key, p in self._pending.items()
+                 if p.src == node or p.dst == node]
+        for key in stale:
+            self._pending.pop(key).acked = True
+        return len(stale)
 
 
 class UdpChannel:
@@ -482,8 +511,15 @@ class TcpChannel:
         attempt = 0
         t_retry = t_sent
         while True:
+            # Each physical transmission is judged at *its own* send time
+            # (the original at t_sent, retransmissions at t_retry), so a
+            # transient partition opening mid-retransmit is seen as a
+            # partition rather than as an unexplained string of losses.
+            # The PRNG key excludes `now`, so probabilistic draws for a
+            # given (seq, attempt) are unchanged by this.
+            t_now = t_retry
             verdict = plan.decide(src, dst, category, seq=seq,
-                                  attempt=attempt, now=t_sent)
+                                  attempt=attempt, now=t_now)
             if attempt > 0:
                 net.stats.record(self.system, CAT_RETRANSMIT, messages=1,
                                  nbytes=frame, src=src, dst=dst)
@@ -499,6 +535,17 @@ class TcpChannel:
             net._trace(t_retry, src, "drop",
                        f"tcp {category} seg={seq} dst=P{dst} "
                        f"attempt={attempt + 1}")
+            t_clear = plan.partition_clear_time(src, dst, t_now)
+            if t_clear is not None:
+                # The drop came from a transient partition, not congestion:
+                # the kernel keeps retransmitting after the window heals,
+                # and the wait does not count against the give-up cap.
+                net._trace(t_now, src, "partition_hold",
+                           f"tcp {category} seg={seq} dst=P{dst} "
+                           f"until={t_clear:.6f}")
+                t_retry = max(t_clear, t_retry)
+                arrival = net.link.transmit_background(t_retry, frame)
+                continue
             attempt += 1
             if attempt >= plan.retry_cap:
                 raise TransportError(

@@ -42,7 +42,7 @@ all, and accounting stays byte-identical to the fault-free simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Set, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import Cluster, Processor
@@ -178,6 +178,20 @@ class RecoveryManager:
         self.checkpoints: List[Checkpoint] = []
         self._crashes: Tuple[Tuple[int, float], ...] = ()
         self._declared = False
+        #: Failure listeners consulted before a failure is surfaced.  A
+        #: listener is called as ``listener(node, t_crash, t_detect)`` and
+        #: returns True if it *masked* the failure (e.g. the SC-ABD quorum
+        #: layer absorbing a replica crash); a masked node is never
+        #: declared and the run continues.  Shared failure-detector
+        #: interface: the lease/heartbeat machinery above stays the single
+        #: source of "who is dead, and since when".
+        self.failure_listeners: List[Callable[[int, float, float], bool]] = []
+        self._handled: Set[int] = set()
+
+    def add_failure_listener(
+            self, listener: Callable[[int, float, float], bool]) -> None:
+        """Register a listener consulted before declaring a failure."""
+        self.failure_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Installation (called by Cluster.run after threads are spawned)
@@ -219,6 +233,8 @@ class RecoveryManager:
             "recovery", "heartbeat", messages=live,
             nbytes=live * self.config.heartbeat_bytes)
         for node, t_crash in self._crashes:
+            if node in self._handled:
+                continue
             thread = self.cluster.procs[node].thread
             if (thread is not None and thread.killed
                     and t - t_crash >= self.config.lease_timeout):
@@ -236,6 +252,8 @@ class RecoveryManager:
         if self._declared:
             return
         for node, t_crash in self._crashes:
+            if node in self._handled:
+                continue
             thread = self.cluster.procs[node].thread
             if thread is not None and thread.killed:
                 self._declare(node, t_crash,
@@ -244,6 +262,15 @@ class RecoveryManager:
     def _declare(self, node: int, t_crash: float, t_detect: float) -> None:
         """Lease expired: reclaim the dead node's locks on the survivors
         and surface the failure to the harness."""
+        for listener in self.failure_listeners:
+            if listener(node, t_crash, t_detect):
+                # The failure is masked (quorum replication absorbed it):
+                # no declaration, no rollback; monitoring continues so a
+                # *second* crash can still be judged against the quorum.
+                self._handled.add(node)
+                self.cluster.trace.record(t_detect, node, "node_masked",
+                                          f"crashed_at={t_crash:.6f}")
+                return
         self._declared = True
         for proc in self.cluster.procs:
             if proc.pid == node or proc.thread is None or proc.thread.killed:

@@ -138,6 +138,19 @@ class MessageStats:
         """
         return self.by_category("recovery")
 
+    def replication(self) -> Dict[str, Counter]:
+        """The SC-ABD quorum-replication buckets (``quorum_read``,
+        ``quorum_read_reply``, ``quorum_write``, ``quorum_write_ack``,
+        ``masked_failure``, plus reliability traffic on the replica
+        links).
+
+        They live under the ``"replication"`` pseudo-system -- like
+        ``"recovery"`` and ``"analysis"`` -- so the paper's per-system
+        wire totals stay untouched; all empty unless the cluster runs in
+        failure-masking (``--ft-mode mask``) replication mode.
+        """
+        return self.by_category("replication")
+
     def reliability(self, system: str) -> Dict[str, Counter]:
         """The fault/reliability buckets for one system.
 

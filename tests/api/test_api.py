@@ -77,6 +77,31 @@ class TestRunConfig:
         assert isinstance(back.faults.categories, frozenset)
         assert back.faults.crash_at == ((1, 0.5),)
 
+    def test_json_round_trip_replication(self):
+        from repro.scabd import ReplicationConfig
+        cfg = api.RunConfig(
+            experiment="fig02", system="tmk", nprocs=4, preset="tiny",
+            faults=FaultPlan(seed=1, crash_at=((5, 0.01),)),
+            replication=ReplicationConfig(replicas=3))
+        back = api.RunConfig.from_json(cfg.to_json())
+        assert back == cfg
+        assert isinstance(back.replication, ReplicationConfig)
+        assert back.replication.f_max == 1
+
+    def test_replication_validation(self):
+        from repro.scabd import ReplicationConfig
+        with pytest.raises(ValueError, match="tmk"):
+            api.RunConfig(experiment="fig01", system="pvm",
+                          replication=ReplicationConfig())
+        with pytest.raises(ValueError, match="sanitizer"):
+            api.RunConfig(experiment="fig01",
+                          analysis=AnalysisConfig(race_check="report"),
+                          replication=ReplicationConfig())
+        with pytest.raises(ValueError, match="alternatives"):
+            api.RunConfig(experiment="fig01",
+                          recovery=RecoveryConfig(checkpoint_interval=0.25),
+                          replication=ReplicationConfig())
+
     def test_json_survives_wire_encoding(self):
         import json
         cfg = api.RunConfig(experiment="fig02",
@@ -180,6 +205,23 @@ class TestRunFacade:
         cold = api.run(cfg, cache=cache)
         assert cold.recovery is not None
         assert cold.recovery["recoveries"] == 1
+        warm = api.run(cfg, cache=cache)
+        assert warm.cached
+        assert warm.to_json_bytes() == cold.to_json_bytes()
+
+
+    def test_replication_summary_round_trips(self, tiny_ep, tmp_path):
+        from repro.scabd import ReplicationConfig
+        cache = ResultCache(tmp_path)
+        cfg = api.RunConfig(
+            experiment="fig01", nprocs=2,
+            faults=FaultPlan(seed=0, crash_at=((2, 0.005),)),
+            replication=ReplicationConfig(replicas=3))
+        cold = api.run(cfg, cache=cache)
+        assert cold.replication is not None
+        assert cold.replication["masked_failures"] == 1
+        assert cold.replication["masked_nodes"] == [2]
+        assert cold.recovery is None
         warm = api.run(cfg, cache=cache)
         assert warm.cached
         assert warm.to_json_bytes() == cold.to_json_bytes()

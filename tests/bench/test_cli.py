@@ -46,6 +46,30 @@ class TestParser:
             build_parser().parse_args(["run", "fig01", "--crash", bad])
         assert "crash" in capsys.readouterr().err
 
+    def test_ft_mode_defaults_to_rollback(self):
+        args = build_parser().parse_args(["run", "fig01"])
+        assert (args.ft_mode, args.replicas) == ("rollback", 3)
+
+    def test_ft_mode_mask_and_replicas_parse(self):
+        args = build_parser().parse_args(
+            ["run", "fig01", "--ft-mode", "mask", "--replicas", "5"])
+        assert (args.ft_mode, args.replicas) == ("mask", 5)
+
+    def test_ft_mode_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig01", "--ft-mode", "retry"])
+        assert "ft-mode" in capsys.readouterr().err
+
+    def test_crash_occurrences_order_deterministically(self):
+        # However the --crash flags are ordered on the command line, the
+        # plan normalizes them, so equivalent invocations share one cache
+        # key and one schedule.
+        from repro.cli import fault_plan
+        a = fault_plan(0.0, 0, None, crash=[(2, 0.7), (1, 0.5)])
+        b = fault_plan(0.0, 0, None, crash=[(1, 0.5), (2, 0.7)])
+        assert a.crash_at == ((1, 0.5), (2, 0.7))
+        assert a == b and hash(a) == hash(b)
+
     def test_checkpoint_interval_parses(self):
         args = build_parser().parse_args(
             ["run", "fig01", "--checkpoint-interval", "0.25"])
@@ -230,3 +254,81 @@ class TestCrashRecoveryCommands:
                      "--crash", "1@0.005",
                      "--checkpoint-interval", "0.01"]) == 0
         assert "crash recovery:" in capsys.readouterr().out
+
+
+class TestMaskingCommands:
+    def test_mask_run_fault_free(self, tiny_ep):
+        text = cmd_run("fig01", "tmk", 2, "bench", ft_mode="mask",
+                       replicas=3)
+        assert "failure masking (SC-ABD quorum replication):" in text
+        assert "masked failures     0" in text
+        assert "quorum reads" in text and "quorum writes" in text
+        # The LRC diff/twin mechanism breakdown does not apply to the
+        # sequentially-consistent quorum protocol.
+        assert "Time decomposition" not in text
+
+    def test_mask_run_masks_replica_crash(self, tiny_ep):
+        from repro.cli import fault_plan
+        # nprocs=2 application ranks; replica servers are pids 2, 3, 4.
+        plan = fault_plan(0.0, 0, None, crash=[(2, 0.005)])
+        text = cmd_run("fig01", "tmk", 2, "bench", faults=plan,
+                       ft_mode="mask", replicas=3)
+        assert "masked failures     1 (nodes [2])" in text
+        assert "crash recovery:" not in text  # no rollback machinery ran
+
+    def test_mask_quorum_minority_vs_majority(self, tiny_ep):
+        from repro.cli import fault_plan
+        # Minority (1 of 3): masked.  Majority (2 of 3): clean abort.
+        minority = fault_plan(0.0, 0, None, crash=[(3, 0.005)])
+        text = cmd_run("fig01", "tmk", 2, "bench", faults=minority,
+                       ft_mode="mask", replicas=3)
+        assert "masked failures     1" in text
+        majority = fault_plan(0.0, 0, None,
+                              crash=[(2, 0.004), (3, 0.005)])
+        with pytest.raises(SystemExit, match="unmaskable failure"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=majority,
+                    ft_mode="mask", replicas=3)
+
+    def test_mask_never_hides_application_crash(self, tiny_ep):
+        from repro.cli import fault_plan
+        plan = fault_plan(0.0, 0, None, crash=[(1, 0.005)])
+        with pytest.raises(SystemExit, match="unmaskable failure"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=plan,
+                    ft_mode="mask", replicas=3)
+
+    def test_mask_crash_range_covers_replica_pids(self, tiny_ep):
+        from repro.cli import fault_plan
+        # Node 4 is the last replica of a 2+3 cluster; node 5 is nobody.
+        plan = fault_plan(0.0, 0, None, crash=[(5, 0.005)])
+        with pytest.raises(SystemExit,
+                           match=r"2 application \+ 3 replica"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=plan,
+                    ft_mode="mask", replicas=3)
+        # ...while the same node is out of range without replication.
+        plan = fault_plan(0.0, 0, None, crash=[(4, 0.005)])
+        with pytest.raises(SystemExit, match="out of range"):
+            cmd_run("fig01", "tmk", 2, "bench", faults=plan,
+                    checkpoint_every=0.01)
+
+    def test_mask_rejects_checkpointing(self):
+        with pytest.raises(SystemExit, match="alternatives"):
+            cmd_run("fig01", "tmk", 2, "bench", ft_mode="mask",
+                    checkpoint_every=0.01)
+
+    def test_mask_requires_tmk(self):
+        with pytest.raises(SystemExit, match="requires --system tmk"):
+            cmd_run("fig01", "pvm", 2, "bench", ft_mode="mask")
+
+    def test_mask_rejects_sanitizer(self):
+        with pytest.raises(SystemExit, match="cannot"):
+            cmd_run("fig01", "tmk", 2, "bench", ft_mode="mask",
+                    race_check="report")
+
+    def test_mask_rejects_bad_replicas(self):
+        with pytest.raises(SystemExit, match="bad --replicas"):
+            cmd_run("fig01", "tmk", 2, "bench", ft_mode="mask", replicas=0)
+
+    def test_main_run_with_mask_flags(self, tiny_ep, capsys):
+        assert main(["run", "fig01", "--nprocs", "2", "--ft-mode", "mask",
+                     "--replicas", "3", "--crash", "2@0.005"]) == 0
+        assert "failure masking" in capsys.readouterr().out

@@ -1,0 +1,1 @@
+"""Tests for the SC-ABD failure-masking replicated DSM."""

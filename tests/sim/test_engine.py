@@ -232,6 +232,55 @@ class TestFailures:
             engine.post(-1.0, lambda: None)
 
 
+class TestDaemons:
+    def test_daemon_retired_after_app_threads_finish(self):
+        engine = Engine()
+
+        def daemon():
+            while True:
+                engine._threads[0].block("idle service loop")
+
+        engine.spawn("svc", daemon, daemon=True)
+        app = engine.spawn("app", lambda: engine._threads[1].advance(1.0))
+        engine.run()  # terminates: the daemon does not hold the run open
+        assert app.result is None and app.clock == 1.0
+        assert engine._threads[0].done and not engine._threads[0].killed
+
+    def test_daemon_blocking_after_stop_unwinds(self):
+        # Regression: if the application finishes before the daemon is
+        # ever scheduled, the retire sweep marks it stopped while it is
+        # still READY.  Its later block() must unwind immediately -- there
+        # is nobody left to unblock it -- instead of deadlocking the run.
+        engine = Engine()
+
+        def daemon():
+            while True:
+                engine._threads[1].block("parked after stop")
+
+        engine.spawn("app", lambda: None)  # finishes without yielding
+        engine.spawn("svc", daemon, daemon=True)
+        engine.run()
+        assert all(t.done for t in engine._threads)
+
+    def test_finished_ignores_daemons(self):
+        engine = Engine()
+        states = []
+
+        def daemon():
+            while True:
+                engine._threads[0].block("idle")
+
+        def app():
+            engine._threads[1].advance(0.5)
+            states.append(engine.finished)
+
+        engine.spawn("svc", daemon, daemon=True)
+        engine.spawn("app", app)
+        engine.run()
+        assert states == [False]  # app still running then
+        assert engine.finished    # daemon alone does not block completion
+
+
 class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         def one_run():

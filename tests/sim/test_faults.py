@@ -7,6 +7,7 @@ from repro.sim.costmodel import CostModel
 from repro.sim.engine import Engine, EngineDeadlock
 from repro.sim.faults import FaultPlan, TransportError
 from repro.sim.network import Link, TcpChannel, UdpChannel
+from repro.sim.trace import Trace
 
 
 class TestFaultPlanDecisions:
@@ -96,6 +97,23 @@ class TestFaultPlanDecisions:
         assert plan.decide(0, 1, "m", seq=0, attempt=0, now=0.5).drop
         assert not plan.decide(1, 0, "m", seq=0, attempt=0, now=1.0).drop
         assert not plan.decide(0, 1, "m", seq=0, attempt=0, now=1.0).drop
+
+    def test_partition_clear_time(self):
+        plan = FaultPlan(crash_windows=((1, 0.5, 1.0), (0, 0.8, 1.5)))
+        # A window covering either endpoint holds the flow until its end.
+        assert plan.partition_clear_time(0, 1, 0.6) == 1.0
+        assert plan.partition_clear_time(1, 0, 0.6) == 1.0
+        # Overlapping windows: held until the *latest* covering t1.
+        assert plan.partition_clear_time(0, 1, 0.9) == 1.5
+        # Outside every window (t1 exclusive): nothing to wait for.
+        assert plan.partition_clear_time(0, 1, 1.5) is None
+        assert plan.partition_clear_time(2, 3, 0.6) is None
+
+    def test_partition_clear_time_ignores_permanent_crashes(self):
+        # A dead-forever host never heals: retransmissions into it must
+        # still burn the retry budget instead of waiting for a clear time.
+        plan = FaultPlan(crash_at=((1, 0.5),))
+        assert plan.partition_clear_time(0, 1, 0.6) is None
 
     def test_transient_partition_validation(self):
         with pytest.raises(ValueError):
@@ -268,6 +286,157 @@ class TestTcpFaults:
         plan = FaultPlan(seed=1, loss=1.0, retry_cap=4)
         with pytest.raises(TransportError, match="connection reset"):
             self._one_send(plan)
+
+
+#: Trace kinds the reliability sublayer emits (in the order they happen).
+_RELIABILITY_KINDS = ("drop", "retransmit", "dup_suppress", "partition_hold")
+
+
+class TestPartitionHold:
+    """A transient partition must pause the retry clock, not burn it.
+
+    Regression tests for the FaultPlan x reliability interaction: a
+    partition opening mid-retransmit used to be indistinguishable from a
+    string of losses, so a bounded outage longer than
+    ``rto * (backoff^retry_cap - 1)`` exhausted the cap and surfaced as a
+    spurious TransportError even though the peer was known to come back.
+    """
+
+    def _udp_one_send(self, plan):
+        trace = Trace(enabled=True)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan, trace=trace))
+        udp = UdpChannel(cluster.net)
+        inbox = []
+
+        def main(proc):
+            proc.register("msg", lambda d: inbox.append(d.payload))
+            proc.yield_point()
+            if proc.pid == 0:
+                t = udp.send(0, 1, "msg", "hello", 200, t_ready=proc.now)
+                proc.set_now(t)
+            proc.compute(1.0)
+
+        cluster.run(main)
+        kinds = [e.kind for e in trace.of_kind(*_RELIABILITY_KINDS)]
+        return inbox, kinds, trace
+
+    def test_udp_partition_holds_instead_of_burning_cap(self):
+        # The initial send is lost (loss window covers only t=0); the
+        # retransmit timer then fires *inside* a 1.5ms-30ms partition of
+        # the receiver.  Backoff retries at ~2/6/14ms would all land in
+        # the partition and exhaust retry_cap=3; the hold parks the timer
+        # until the window heals and delivers with the budget intact.
+        plan = FaultPlan(seed=3, loss=1.0, window=(0.0, 0.5e-3),
+                         crash_windows=((1, 1.5e-3, 30e-3),), retry_cap=3)
+        inbox, kinds, trace = self._udp_one_send(plan)
+        assert inbox == ["hello"]
+        assert kinds == ["drop", "partition_hold", "retransmit"]
+        hold, = trace.of_kind("partition_hold")
+        assert "until=0.030000" in hold.detail
+        retry, = trace.of_kind("retransmit")
+        assert retry.time >= 30e-3  # delivery waited for the heal
+        assert retry.detail.endswith("attempt=2")  # budget not burned
+
+    def test_udp_hold_decision_sequence_is_deterministic(self):
+        plan = FaultPlan(seed=3, loss=1.0, window=(0.0, 0.5e-3),
+                         crash_windows=((1, 1.5e-3, 30e-3),), retry_cap=3)
+        runs = [self._udp_one_send(plan) for _ in range(2)]
+        events = [[(e.time, e.pid, e.kind, e.detail)
+                   for e in t.of_kind(*_RELIABILITY_KINDS)]
+                  for _, _, t in runs]
+        assert events[0] == events[1]
+
+    def test_udp_cap_still_fires_for_permanent_crashes(self):
+        # partition_clear_time excludes crash_at: a retransmission into a
+        # dead-forever host must still exhaust the budget (the failure
+        # detector, not the transport, is who masks or declares it).
+        plan = FaultPlan(seed=1, crash_at=((1, 0.5e-3),), retry_cap=3)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan))
+        udp = UdpChannel(cluster.net)
+
+        def main(proc):
+            proc.register("msg", lambda d: None)
+            proc.yield_point()
+            if proc.pid == 0:
+                proc.set_now(1e-3)  # send after the crash: all drops
+                udp.send(0, 1, "msg", "x", 100, t_ready=proc.now)
+                proc.mailbox().wait("reply that never comes")
+            else:
+                proc.compute(10.0)
+
+        with pytest.raises(TransportError, match="unacknowledged after 3"):
+            cluster.run(main)
+
+    def test_cancel_pending_abandons_unacked_sends(self):
+        # What the masking layer relies on: cancelling the in-flight
+        # reliable sends to a dead node silences their retry timers.
+        plan = FaultPlan(seed=1, loss=1.0, retry_cap=3)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan))
+        udp = UdpChannel(cluster.net)
+        cancelled = []
+
+        def main(proc):
+            proc.register("msg", lambda d: None)
+            proc.yield_point()
+            if proc.pid == 0:
+                udp.send(0, 1, "msg", "x", 100, t_ready=proc.now)
+                cancelled.append(cluster.net.cancel_pending_to(1))
+            proc.compute(1.0)
+
+        cluster.run(main)  # no TransportError despite loss=1.0, cap=3
+        assert cancelled == [1]
+
+    def test_tcp_partition_holds_initial_segment(self):
+        # Partition covers the very first transmission: the kernel parks
+        # the segment until the heal; zero attempts charged.
+        trace = Trace(enabled=True)
+        plan = FaultPlan(seed=2, crash_windows=((1, 0.0, 50e-3),),
+                         retry_cap=3)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan, trace=trace))
+        tcp = TcpChannel(cluster.net)
+        arrivals = []
+
+        def main(proc):
+            proc.register("msg", lambda d: arrivals.append(d.arrival))
+            proc.yield_point()
+            if proc.pid == 0:
+                tcp.send(0, 1, "msg", None, 1000, t_ready=proc.now)
+            proc.compute(2.0)
+
+        cluster.run(main)
+        assert len(arrivals) == 1
+        assert arrivals[0] >= 50e-3
+        kinds = [e.kind for e in trace.of_kind(*_RELIABILITY_KINDS)]
+        assert kinds == ["drop", "partition_hold"]
+
+    def test_tcp_partition_opening_mid_retransmit(self):
+        # The original segment is lost to congestion at t~0; the kernel's
+        # 20ms RTO retry then lands inside a 2ms-100ms partition.  Without
+        # the hold, retries at 20/40ms burn retry_cap=3 into a spurious
+        # connection reset; with it the segment waits out the window.
+        trace = Trace(enabled=True)
+        plan = FaultPlan(seed=2, loss=1.0, window=(0.0, 1e-3),
+                         crash_windows=((1, 2e-3, 100e-3),),
+                         retry_cap=3, tcp_rto=20e-3)
+        cluster = Cluster(2, config=ClusterConfig(faults=plan, trace=trace))
+        tcp = TcpChannel(cluster.net)
+        arrivals = []
+
+        def main(proc):
+            proc.register("msg", lambda d: arrivals.append(d.arrival))
+            proc.yield_point()
+            if proc.pid == 0:
+                tcp.send(0, 1, "msg", None, 1000, t_ready=proc.now)
+            proc.compute(2.0)
+
+        cluster.run(main)
+        assert len(arrivals) == 1
+        assert arrivals[0] >= 100e-3
+        kinds = [e.kind for e in trace.of_kind(*_RELIABILITY_KINDS)]
+        assert kinds == ["drop", "retransmit", "drop", "partition_hold",
+                         "retransmit"]
+        hold, = trace.of_kind("partition_hold")
+        assert "until=0.100000" in hold.detail
 
 
 class TestDiagnostics:
