@@ -133,6 +133,11 @@ class RunConfig:
     #: servers so minority crashes are absorbed without rollback
     #: (tmk only; an alternative to checkpointing, not an addition).
     replication: Optional[ReplicationConfig] = None
+    #: Attach the runtime protocol-invariant monitors
+    #: (``repro.verify.invariants``); a broken coherence rule raises
+    #: ``InvariantViolation`` mid-run.  Pure observation -- results and
+    #: times are identical with or without it.
+    invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.system not in _SYSTEMS:
@@ -172,6 +177,7 @@ class RunConfig:
             "obs": _jsonify(self.obs),
             "cost": _jsonify(self.cost),
             "replication": _jsonify(self.replication),
+            "invariants": self.invariants,
         }
 
     @classmethod
@@ -190,6 +196,7 @@ class RunConfig:
             cost=_dataclass_from_json(CostModel, data.get("cost")),
             replication=_dataclass_from_json(ReplicationConfig,
                                              data.get("replication")),
+            invariants=bool(data.get("invariants", False)),
         )
 
 
@@ -377,7 +384,7 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
         config.experiment, config.system, config.nprocs, config.preset,
         faults=config.faults, analysis=config.analysis,
         recovery=config.recovery, obs=config.obs, cost=config.cost,
-        replication=config.replication)
+        replication=config.replication, invariants=config.invariants)
     seq = harness.seq_time(config.experiment, config.preset)
     recovery = None
     if par.recovery is not None:

@@ -29,6 +29,7 @@ from repro.ivy.api import IvyConfig, attach_ivy
 from repro.pvm.api import attach_pvm
 from repro.scabd import (ReplicationConfig, ReplicationReport, ScAbdConfig,
                          attach_scabd)
+from repro.verify.invariants import attach_invariants
 
 __all__ = [
     "APPS",
@@ -104,6 +105,9 @@ class ParallelResult:
     endpoints: List[Any] = field(default_factory=list)
     #: The run's sanitizer (repro.analysis), when one was requested.
     sanitizer: Optional[Any] = None
+    #: The run's protocol-invariant monitor (repro.verify.invariants),
+    #: when ``invariants=True`` was requested.
+    invariant_monitor: Optional[Any] = None
     #: Crash-recovery ledger (None unless a recovery config was given or
     #: the fault plan scheduled a permanent crash).
     recovery: Optional[RecoveryReport] = None
@@ -176,8 +180,9 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  analysis: Optional[AnalysisConfig] = None,
                  recovery: Optional[RecoveryConfig] = None,
                  obs: Optional[ObsConfig] = None,
-                 replication: Optional[ReplicationConfig] = None
-                 ) -> ParallelResult:
+                 replication: Optional[ReplicationConfig] = None,
+                 scheduler: Optional[Any] = None,
+                 invariants: bool = False) -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -208,6 +213,15 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     and rollback are alternatives: with ``replication`` set there are no
     checkpoints, and an unmaskable crash (an application rank, or one
     replica too many) aborts the run with ``NodeFailure``.
+
+    ``scheduler`` overrides the engine's tie-break policy among ready
+    threads at equal virtual time (see ``repro.verify.schedule``); the
+    default ``None`` keeps the historical lowest-pid order.
+    ``invariants=True`` attaches the runtime protocol-invariant monitors
+    (see ``repro.verify.invariants``); a broken coherence rule raises
+    ``InvariantViolation`` mid-run.  Neither changes virtual-time
+    accounting: a default-scheduled run with invariants on computes
+    byte-identical results.
     """
     spec = get_app(app) if isinstance(app, str) else app
     if system not in ("tmk", "pvm", "ivy"):
@@ -237,7 +251,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     while True:
         total_procs = nprocs + (replication.replicas if mask else 0)
         cluster = Cluster(total_procs, config=ClusterConfig(
-            cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs))
+            cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs,
+            scheduler=scheduler))
         sanitizer = None
         scabd_system = None
         if mask:
@@ -245,6 +260,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                 cluster, ScAbdConfig(segment_bytes=spec.segment_bytes),
                 replication)
             scabd_system = endpoints[0].system
+            monitor_kind = "scabd"
             main = spec.tmk_main
         elif system == "tmk":
             config = tmk_config
@@ -253,13 +269,20 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
             endpoints = attach_tmk(cluster, config)
             if analysis is not None:
                 sanitizer = attach_sanitizer(cluster, endpoints, analysis)
+            monitor_kind = "tmk"
             main = spec.tmk_main
         elif system == "ivy":
-            attach_ivy(cluster, IvyConfig(segment_bytes=spec.segment_bytes))
+            endpoints = attach_ivy(
+                cluster, IvyConfig(segment_bytes=spec.segment_bytes))
+            monitor_kind = "ivy"
             main = spec.tmk_main
         else:
-            attach_pvm(cluster, route=pvm_route)
+            endpoints = attach_pvm(cluster, route=pvm_route)
+            monitor_kind = "pvm"
             main = spec.pvm_main
+        monitor = None
+        if invariants:
+            monitor = attach_invariants(cluster, endpoints, monitor_kind)
         try:
             outcome = cluster.run(main, args=(params,))
             break
@@ -294,6 +317,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         endpoints=[proc.pvm if system == "pvm" else proc.tmk
                    for proc in app_procs],
         sanitizer=sanitizer,
+        invariant_monitor=monitor,
         recovery=report,
         replication=(scabd_system.report() if scabd_system is not None
                      else None),

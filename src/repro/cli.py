@@ -9,6 +9,10 @@ Commands::
                                (``repro sweep all --jobs 8``)
     figure EXP [options]       a paper figure (speedup curves)
     table1 / table2 [options]  the paper's tables
+    verify [EXP] [options]     protocol verification: explore tie-break
+                               schedules of one experiment (deadlocks,
+                               invariant violations, result divergence)
+                               and/or run the protocol lints (--lint)
     trace APP [options]        a traced TreadMarks run (protocol timeline);
                                ``--perfetto OUT.json`` exports a Chrome/
                                Perfetto trace of the same run
@@ -82,7 +86,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="page-replica servers in --ft-mode mask "
                           "(N replicas mask up to (N-1)//2 crashes; "
                           "default 3)")
+    run.add_argument("--invariants", action="store_true",
+                     help="attach the runtime protocol-invariant monitors "
+                          "(repro.verify): a broken coherence rule aborts "
+                          "the run with the violated rule and both events")
     add_fault_flags(run)
+
+    verify = sub.add_parser(
+        "verify",
+        help="verify the protocols: explore tie-break schedules of one "
+             "experiment (invariants on, results compared across "
+             "schedules), and/or run the protocol-implementation lints")
+    verify.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (fig01..fig12); omit to run "
+                             "only --lint")
+    verify.add_argument("--system", choices=("tmk", "ivy", "pvm", "scabd"),
+                        default="tmk",
+                        help="runtime to explore ('scabd' = TreadMarks "
+                             "programs over SC-ABD quorum replication)")
+    verify.add_argument("--nprocs", type=int, default=3)
+    verify.add_argument("--preset", choices=("tiny", "bench", "paper"),
+                        default="tiny")
+    verify.add_argument("--schedules", type=int, default=25,
+                        help="schedules to explore (default 25)")
+    verify.add_argument("--mode", choices=("random", "dfs"),
+                        default="random",
+                        help="'random': seeded random walks (replayable "
+                             "by seed); 'dfs': systematic bounded-"
+                             "preemption enumeration")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="first random-walk seed (mode=random)")
+    verify.add_argument("--max-flips", type=int, default=2,
+                        help="preemption bound for mode=dfs (default 2)")
+    verify.add_argument("--no-invariants", action="store_true",
+                        help="explore schedules without the runtime "
+                             "invariant monitors")
+    verify.add_argument("--lint", action="store_true",
+                        help="also run the protocol-implementation lints "
+                             "(PRT001-PRT008)")
+    verify.add_argument("--lint-paths", default="src/repro",
+                        help="comma-separated paths for --lint "
+                             "(default: src/repro)")
 
     sweep = sub.add_parser(
         "sweep",
@@ -217,7 +261,8 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             faults=None, race_check: str = "off",
             false_sharing: bool = False,
             checkpoint_every: float = 0.0,
-            ft_mode: str = "rollback", replicas: int = 3) -> str:
+            ft_mode: str = "rollback", replicas: int = 3,
+            invariants: bool = False) -> str:
     from repro import api
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
@@ -268,7 +313,7 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
     config = api.RunConfig(experiment=experiment, system=system,
                            nprocs=nprocs, preset=preset, faults=faults,
                            analysis=analysis, recovery=recovery,
-                           replication=replication)
+                           replication=replication, invariants=invariants)
     try:
         # want_parallel: the report below needs the live run (stats
         # buckets, sanitizer, mechanism breakdown), not just the summary.
@@ -348,6 +393,59 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
         if false_sharing:
             rows += ["", run.sanitizer.false_sharing_report()]
     return "\n".join(rows)
+
+
+def cmd_verify(experiment: Optional[str], system: str = "tmk",
+               nprocs: int = 3, preset: str = "tiny",
+               schedules: int = 25, mode: str = "random", seed: int = 0,
+               max_flips: int = 2, invariants: bool = True,
+               lint: bool = False, lint_paths: str = "src/repro") -> str:
+    """Explore tie-break schedules and/or run the protocol lints.
+
+    Raises ``SystemExit`` (nonzero) when any explored schedule deadlocks,
+    breaks a protocol invariant, or diverges from the reference result,
+    or when the lints produce findings.
+    """
+    from repro.bench import harness
+    sections: List[str] = []
+    failed = False
+    if experiment is None and not lint:
+        raise SystemExit("nothing to do: give an experiment id and/or "
+                         "--lint")
+    if experiment is not None:
+        if experiment not in harness.EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {experiment!r}; "
+                             f"try: {', '.join(harness.EXPERIMENTS)}")
+        from repro.verify import explore_app
+        exp = harness.EXPERIMENTS[experiment]
+        try:
+            params = harness.params_for(exp, preset)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        report = explore_app(exp.app, system, nprocs, params, mode=mode,
+                             schedules=schedules, seed=seed,
+                             max_flips=max_flips, invariants=invariants)
+        sections.append(report.summary())
+        failed = failed or not report.ok
+    if lint:
+        from pathlib import Path
+        from repro.analysis.protolint import lint_paths as lint_run
+        paths = [Path(p.strip()) for p in lint_paths.split(",") if p.strip()]
+        for path in paths:
+            if not path.exists():
+                raise SystemExit(f"--lint-paths: no such path: {path}")
+        findings = lint_run(paths)
+        if findings:
+            sections.append("\n".join(f.format() for f in findings))
+            sections.append(f"protocol lint: {len(findings)} finding(s)")
+            failed = True
+        else:
+            linted = ", ".join(str(p) for p in paths)
+            sections.append(f"protocol lint: clean ({linted})")
+    text = "\n\n".join(sections)
+    if failed:
+        raise SystemExit(text)
+    return text
 
 
 def cmd_sweep(experiments: List[str], systems: str, nprocs: str,
@@ -467,7 +565,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                       faults=plan, race_check=args.race_check,
                       false_sharing=args.false_sharing_report,
                       checkpoint_every=args.checkpoint_interval,
-                      ft_mode=args.ft_mode, replicas=args.replicas))
+                      ft_mode=args.ft_mode, replicas=args.replicas,
+                      invariants=args.invariants))
+    elif args.command == "verify":
+        print(cmd_verify(args.experiment, system=args.system,
+                         nprocs=args.nprocs, preset=args.preset,
+                         schedules=args.schedules, mode=args.mode,
+                         seed=args.seed, max_flips=args.max_flips,
+                         invariants=not args.no_invariants,
+                         lint=args.lint, lint_paths=args.lint_paths))
     elif args.command == "sweep":
         print(cmd_sweep(args.experiment, args.systems, args.nprocs,
                         args.preset, args.jobs, args.no_cache,

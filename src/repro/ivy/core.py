@@ -80,6 +80,10 @@ class IvyCore:
         self.write_faults = 0
         self.pages_sent = 0
         self.invalidations = 0
+        #: Optional protocol invariant monitor (repro.verify.invariants):
+        #: receives install/invalidate/demote/grant/barrier events; never
+        #: charges time or messages.
+        self.monitor = None
 
         proc.register(CAT_REQUEST, self._on_request)
         proc.register(CAT_FETCH, self._on_fetch)
@@ -157,6 +161,7 @@ class IvyCore:
                    f"page={page} {'write' if want_write else 'read'}")
         box = proc.mailbox()
         manager = self.manager_of(page)
+        box.waiting_on = f"P{manager} (page manager)"
         request = ("write" if want_write else "read", page, self.pid, box)
         if manager == self.pid:
             self._enqueue(request, at=proc.now)
@@ -171,6 +176,8 @@ class IvyCore:
             view[:] = np.frombuffer(data, dtype=np.uint8)
             proc.compute(self.cost.copy_cost(self.cost.page_size))
         self.state[page] = WRITE if granted_write else READ
+        if self.monitor is not None:
+            self.monitor.on_install(self.pid, page, granted_write, proc.now)
         # Tell the manager the transfer completed so it can serve the
         # next queued request for this page.
         if manager == self.pid:
@@ -232,6 +239,8 @@ class IvyCore:
     def _local_invalidate(self, page: int) -> None:
         self.state[page] = INVALID
         self.invalidations += 1
+        if self.monitor is not None:
+            self.monitor.on_invalidate(self.pid, page, self.proc.now)
 
     def _on_invalidate(self, delivery: Delivery) -> None:
         page = delivery.payload
@@ -262,6 +271,10 @@ class IvyCore:
         owner = state.owner
         if write:
             state.owner = requester
+        if self.monitor is not None:
+            self.monitor.on_grant(self.pid, page,
+                                  "write" if write else "read", requester,
+                                  owner, frozenset(state.copyset), at)
         if owner == requester:
             # Upgrade in place: the owner's copy is current -- the manager
             # sends just the grant, no page data.
@@ -290,6 +303,8 @@ class IvyCore:
             self._local_invalidate(page)
         elif self.state[page] == WRITE:
             self.state[page] = READ
+            if self.monitor is not None:
+                self.monitor.on_demote(self.pid, page, at)
         self._deliver_page(requester, box, page, data=True,
                            write=write, at=at, payload=data)
 

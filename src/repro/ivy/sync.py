@@ -78,6 +78,7 @@ class IvyLocks:
         box = proc.mailbox()
         request = (lock, self.pid, box)
         manager = lock % self.nprocs
+        box.waiting_on = f"P{manager} (lock manager)"
         state.awaiting = True
         t0 = proc.now
         if manager == self.pid:
@@ -174,6 +175,9 @@ class IvyBarrier:
         proc.compute(_LOCAL_CPU)
         if self.nprocs == 1:
             return
+        monitor = self.core.monitor
+        if monitor is not None:
+            monitor.on_barrier_arrive(self.pid, bid, proc.now)
         t0 = proc.now
         if self.pid == self.manager:
             arrivals = self._arrivals.setdefault(bid, [])
@@ -182,7 +186,8 @@ class IvyBarrier:
                                        [t for _, t in arrivals]))
             else:
                 self._manager_blocked[bid] = True
-                proc.block(f"ivy barrier {bid}")
+                proc.block(f"ivy barrier {bid}",
+                           waiting_on="remaining barrier arrivals")
                 self._manager_blocked[bid] = False
         else:
             t = self.core.udp.send(self.pid, self.manager, CAT_BAR_ARRIVE,
@@ -190,9 +195,12 @@ class IvyBarrier:
                                    t_ready=proc.now)
             proc.set_now(t)
             self._waiting = True
-            proc.block(f"ivy barrier {bid}")
+            proc.block(f"ivy barrier {bid}",
+                       waiting_on=f"P{self.manager} (barrier manager)")
             self._waiting = False
         self.wait_time += proc.now - t0
+        if monitor is not None:
+            monitor.on_barrier_depart(self.pid, bid, proc.now)
 
     def _on_arrival(self, delivery: Delivery) -> None:
         bid, pid = delivery.payload

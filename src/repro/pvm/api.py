@@ -70,6 +70,9 @@ class Pvm:
         self._tcp = TcpChannel(proc.cluster.net, system="pvm")
         self._inbox: List[_Arrived] = []
         self._wait_spec: Optional[Tuple[int, int]] = None
+        #: Optional protocol invariant monitor (repro.verify.invariants):
+        #: receives per-arrival events (per-pair FIFO ordering checks).
+        self.monitor = None
         proc.register(_CATEGORY, self._on_message)
 
     # ------------------------------------------------------------------
@@ -157,6 +160,9 @@ class Pvm:
         msg = _Arrived(src=delivery.src, tag=tag, segments=segments, fmt=fmt,
                        nbytes=delivery.user_bytes, arrival=delivery.arrival,
                        recv_cpu=delivery.recv_cpu + extra)
+        if self.monitor is not None:
+            self.monitor.on_message(delivery.src, self.proc.pid, tag,
+                                    delivery.arrival)
         self._inbox.append(msg)
         if self._wait_spec is not None and self._matches(msg, *self._wait_spec):
             self._wait_spec = None
@@ -185,7 +191,8 @@ class Pvm:
         msg = self._take(src, tag)
         while msg is None:
             self._wait_spec = (src, tag)
-            proc.block(f"pvm_recv(src={src}, tag={tag})")
+            proc.block(f"pvm_recv(src={src}, tag={tag})",
+                       waiting_on=("any sender" if src == -1 else f"P{src}"))
             msg = self._take(src, tag)
         buf = self._consume(msg)
         if obs is not None:

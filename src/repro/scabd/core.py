@@ -142,6 +142,10 @@ class ScAbdCore:
         self.invalidations = 0
         self.quorum_reads = 0
         self.quorum_writes = 0
+        #: Optional protocol invariant monitor (repro.verify.invariants):
+        #: receives install/invalidate/flush/grant/barrier events; never
+        #: charges time or messages.
+        self.monitor = None
 
         proc.register(CAT_REQUEST, self._on_request)
         proc.register(CAT_GRANT, self._on_grant)
@@ -212,6 +216,7 @@ class ScAbdCore:
                    f"page={page} {'write' if want_write else 'read'}")
         box = proc.mailbox()
         home = self.home_of(page)
+        box.waiting_on = f"P{home} (home)"
         request = ("write" if want_write else "read", page, self.pid, box)
         if home == self.pid:
             self._enqueue(request, at=proc.now)
@@ -231,6 +236,8 @@ class ScAbdCore:
                 view[:] = 0  # tag 0: the page was never flushed
             proc.compute(self.cost.copy_cost(self.cost.page_size))
         self.state[page] = WRITE if granted_write else READ
+        if self.monitor is not None:
+            self.monitor.on_install(self.pid, page, granted_write, proc.now)
         if home == self.pid:
             self._finish(page)
         else:
@@ -251,6 +258,8 @@ class ScAbdCore:
         assert len(live) >= need, "quorum read with a dead majority"
         self.quorum_reads += 1
         collector = _Quorum(proc.mailbox(), need)
+        collector.box.waiting_on = (
+            f"majority of replicas {sorted(live)}")
         obs = proc.obs
         if obs is not None:
             obs.begin(proc.now, self.pid, "quorum_read", B_REPLICATION,
@@ -298,6 +307,8 @@ class ScAbdCore:
         self.state[page] = READ if demote else INVALID
         if not demote:
             self.invalidations += 1
+        if self.monitor is not None:
+            self.monitor.on_flush_start(self.pid, page, new_tag, demote, at)
         live = self.system.live_replicas()
         need = self.system.replication.majority
         assert len(live) >= need, "quorum write with a dead majority"
@@ -324,6 +335,8 @@ class ScAbdCore:
             return
         del self._flush[page]
         at = delivery.arrival + service
+        if self.monitor is not None:
+            self.monitor.on_flush_complete(self.pid, page, tag, at)
         if flush.home == self.pid:
             self._home_ack(page, flush.tag, at)
         else:
@@ -346,6 +359,8 @@ class ScAbdCore:
             return
         self.state[page] = INVALID
         self.invalidations += 1
+        if self.monitor is not None:
+            self.monitor.on_invalidate(self.pid, page, t_ready)
         t = self.udp.send(self.pid, home, CAT_INV_ACK, (page, tag),
                           _CTL_BYTES, t_ready=t_ready)
         self.proc.charge_service(service + (t - t_ready))
@@ -403,6 +418,8 @@ class ScAbdCore:
                 else:
                     self.state[page] = INVALID
                     self.invalidations += 1
+                    if self.monitor is not None:
+                        self.monitor.on_invalidate(self.pid, page, t)
                 continue
             awaiting += 1
             t = self.udp.send(self.pid, member, CAT_INVALIDATE,
@@ -415,7 +432,10 @@ class ScAbdCore:
     def _home_ack(self, page: int, new_tag: int, at: float) -> None:
         """One invalidation/demotion ack reached the home."""
         state = self._home(page)
+        old_tag = state.tag
         state.tag = max(state.tag, new_tag)
+        if self.monitor is not None:
+            self.monitor.on_home_tag(self.pid, page, old_tag, state.tag, at)
         state.awaiting_acks -= 1
         if state.awaiting_acks == 0 and state.current is not None:
             self._complete_grant(page, at)
@@ -436,6 +456,11 @@ class ScAbdCore:
         else:
             state.copyset.add(requester)
             state.writer = None
+        if self.monitor is not None:
+            self.monitor.on_home_grant(self.pid, page, kind, requester,
+                                       state.writer,
+                                       frozenset(state.copyset),
+                                       state.tag, at)
         body = (kind == "write", state.tag)
         if requester == self.pid:
             box.put(body, at)
@@ -475,6 +500,8 @@ class ScAbdReplica:
                                    system=REPLICATION_SYSTEM)
         #: page -> (tag, bytes).  A missing page is (0, zeros), implicit.
         self.store: Dict[int, Tuple[int, bytes]] = {}
+        #: Optional protocol invariant monitor (set by attach_invariants).
+        self.monitor = None
         proc.register(CAT_QREAD, self._on_qread)
         proc.register(CAT_QWRITE, self._on_qwrite)
 
@@ -495,6 +522,11 @@ class ScAbdReplica:
         stored = self.store.get(page)
         if stored is None or tag > stored[0]:
             self.store[page] = (tag, data)
+        if self.monitor is not None:
+            prev_tag = 0 if stored is None else stored[0]
+            self.monitor.on_replica_store(self.pid, page, prev_tag, tag,
+                                          self.store[page][0],
+                                          delivery.arrival)
         t_ready = delivery.arrival + service
         t = self.udp_repl.send(self.pid, writer, CAT_QWRITE_ACK,
                                (page, tag), _CTL_BYTES, t_ready=t_ready)

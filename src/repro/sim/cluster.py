@@ -36,13 +36,17 @@ class Mailbox:
     response's arrival time.
     """
 
-    __slots__ = ("proc", "_value", "_time", "_waiting")
+    __slots__ = ("proc", "_value", "_time", "_waiting", "waiting_on")
 
     def __init__(self, proc: "Processor") -> None:
         self.proc = proc
         self._value: Any = _EMPTY
         self._time = 0.0
         self._waiting = False
+        #: Diagnostic wake-dependency hint ("P3 (home)"): set by the
+        #: requester when it knows who must reply, surfaced in deadlock
+        #: and watchdog thread dumps.
+        self.waiting_on: Optional[str] = None
 
     def put(self, value: Any, time: float) -> None:
         if self._value is not _EMPTY:
@@ -56,7 +60,7 @@ class Mailbox:
         """Block until filled; advances the caller's clock to arrival time."""
         if self._value is _EMPTY:
             self._waiting = True
-            self.proc.block(reason)
+            self.proc.block(reason, waiting_on=self.waiting_on)
             self._waiting = False
         if self._value is _EMPTY:
             raise RuntimeError(f"mailbox woken empty while waiting for {reason}")
@@ -120,9 +124,9 @@ class Processor:
         assert self.thread is not None
         self.thread.yield_point()
 
-    def block(self, reason: str) -> float:
+    def block(self, reason: str, waiting_on: Optional[str] = None) -> float:
         assert self.thread is not None
-        return self.thread.block(reason)
+        return self.thread.block(reason, waiting_on=waiting_on)
 
     def unblock(self, wake_time: float) -> None:
         assert self.thread is not None
@@ -218,6 +222,9 @@ class ClusterConfig:
     obs: Optional[ObsConfig] = None
     #: Engine watchdog: max consecutive events with every thread blocked.
     watchdog_events: int = 1_000_000
+    #: Tie-break strategy among equal-virtual-time ready threads (see
+    #: ``repro.sim.engine.Scheduler``); None = historical lowest-tid pick.
+    scheduler: Optional[Any] = None
 
 
 class Cluster:
@@ -250,7 +257,8 @@ class Cluster:
                      else CostModel.paper_testbed())
         self.trace = config.trace if config.trace is not None else Trace()
         self.faults = config.faults
-        self.engine = Engine(watchdog_events=config.watchdog_events)
+        self.engine = Engine(watchdog_events=config.watchdog_events,
+                             scheduler=config.scheduler)
         self.stats = MessageStats()
         self.net = Network(self.engine, self.cost, self.stats,
                            faults=self.faults, trace=self.trace)

@@ -33,7 +33,7 @@ import heapq
 import threading
 from typing import Any, Callable, Optional
 
-__all__ = ["Engine", "EngineDeadlock", "SimAborted", "SimThread",
+__all__ = ["Engine", "EngineDeadlock", "Scheduler", "SimAborted", "SimThread",
            "ThreadKilled"]
 
 
@@ -71,6 +71,27 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 
+class Scheduler:
+    """Pluggable tie-break policy among equal-virtual-time ready threads.
+
+    The engine resolves *which entity runs next* by virtual time: events
+    before threads, earlier clocks before later ones.  The only freedom a
+    run has is the order of READY threads whose clocks are exactly equal --
+    historically broken by spawn order (lowest tid).  A ``Scheduler``
+    receives that tie set (in tid order, always length >= 2) and picks the
+    thread to dispatch; everything else about the run is unchanged.
+
+    The default ``Engine(scheduler=None)`` fast path never consults a
+    scheduler and reproduces the historical (clock, tid) policy exactly.
+    ``repro.verify.schedule`` builds replayable and randomized strategies
+    on top of this hook to explore the schedule space.
+    """
+
+    def pick(self, ready: "list[SimThread]") -> "SimThread":
+        """Return the thread to run next; default = lowest tid."""
+        return ready[0]
+
+
 class SimThread:
     """A simulated processor's execution context.
 
@@ -86,6 +107,7 @@ class SimThread:
         "clock",
         "state",
         "block_reason",
+        "waiting_on",
         "_fn",
         "_go",
         "_host",
@@ -105,6 +127,10 @@ class SimThread:
         self.clock = clock
         self.state = _NEW
         self.block_reason: Optional[str] = None
+        #: Wake-dependency hint: who/what must act for this thread to wake
+        #: (e.g. "P3 (manager)").  Purely diagnostic -- surfaced by
+        #: thread_dump() so deadlock and watchdog reports name the edge.
+        self.waiting_on: Optional[str] = None
         self._fn = fn
         self._go = threading.Event()
         self.result: Any = None
@@ -168,9 +194,11 @@ class SimThread:
             raise SimAborted()
         self.state = _RUNNING
 
-    def block(self, reason: str) -> float:
+    def block(self, reason: str, waiting_on: Optional[str] = None) -> float:
         """Suspend until another entity calls :meth:`Engine.unblock`.
 
+        ``waiting_on`` optionally names the wake dependency (which peer or
+        service is expected to unblock this thread) for deadlock reports.
         Returns the wake-up virtual time; the clock has already been advanced
         to ``max(clock, wake_time)``.
         """
@@ -183,6 +211,7 @@ class SimThread:
             raise SimAborted()
         self.state = _BLOCKED
         self.block_reason = reason
+        self.waiting_on = waiting_on
         self.engine._back.set()
         self._go.wait()
         self._go.clear()
@@ -194,6 +223,7 @@ class SimThread:
             raise SimAborted()
         self.state = _RUNNING
         self.block_reason = None
+        self.waiting_on = None
         if self._wake_time > self.clock:
             self.clock = self._wake_time
         return self.clock
@@ -216,7 +246,8 @@ class SimThread:
 class Engine:
     """Virtual-time scheduler for simulated threads and message events."""
 
-    def __init__(self, watchdog_events: int = 1_000_000) -> None:
+    def __init__(self, watchdog_events: int = 1_000_000,
+                 scheduler: Optional[Scheduler] = None) -> None:
         self._threads: list[SimThread] = []
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._event_seq = 0
@@ -235,6 +266,9 @@ class Engine:
         #: would-be hang into an :class:`EngineDeadlock` with a thread dump.
         self.watchdog_events = watchdog_events
         self._blocked_events = 0
+        #: Tie-break strategy among equal-clock READY threads, or None for
+        #: the historical lowest-tid policy (the byte-identical fast path).
+        self.scheduler = scheduler
 
     # ------------------------------------------------------------------
     # Setup
@@ -309,10 +343,12 @@ class Engine:
         return bool(threads) and all(t.state == _DONE for t in threads)
 
     def thread_dump(self) -> str:
-        """One line per thread: name, tid, state, clock, block reason."""
+        """One line per thread: name, tid, state, clock, block reason and
+        wake dependency (who must act for the thread to wake)."""
         return "; ".join(
             f"{t.name} tid={t.tid} state={t.state} clock={t.clock:.6f}"
             + (f" reason={t.block_reason}" if t.block_reason else "")
+            + (f" waiting_on={t.waiting_on}" if t.waiting_on else "")
             for t in self._threads)
 
     # ------------------------------------------------------------------
@@ -349,6 +385,7 @@ class Engine:
         events = self._events
         heappop = heapq.heappop
         back = self._back
+        scheduler = self.scheduler
         while True:
             # One pass: surface failures, detect completion, and find the
             # ready thread with the smallest (clock, tid).  Iteration is in
@@ -416,6 +453,16 @@ class Engine:
                 raise EngineDeadlock(
                     "all simulated threads blocked with no pending events: "
                     + self.thread_dump())
+
+            if scheduler is not None:
+                # A choice point exists only when several READY threads are
+                # tied at the minimal clock; the event-vs-thread tie policy
+                # (events win) is fixed and never explored.
+                tie_clock = next_thread.clock
+                ties = [t for t in threads
+                        if t.state == _READY and t.clock == tie_clock]
+                if len(ties) > 1:
+                    next_thread = scheduler.pick(ties)
 
             self._blocked_events = 0
             if next_thread.clock > self.horizon:

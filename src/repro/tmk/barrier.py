@@ -98,6 +98,9 @@ class BarrierSubsystem:
         sanitizer = self.core.sanitizer
         if sanitizer is not None:
             sanitizer.on_barrier_arrive(self.pid, bid)
+        monitor = self.core.monitor
+        if monitor is not None:
+            monitor.on_barrier_arrive(self.pid, bid, proc.now)
         if self.pid == self.manager:
             self._manager_arrive(bid, t_arrive)
         else:
@@ -109,6 +112,8 @@ class BarrierSubsystem:
         self._run_post_departure()
         if sanitizer is not None:
             sanitizer.on_barrier_depart(self.pid, bid)
+        if monitor is not None:
+            monitor.on_barrier_depart(self.pid, bid, proc.now)
 
     def _run_post_departure(self) -> None:
         """Execute any GC/checkpoint instruction the departure carried."""
@@ -146,7 +151,8 @@ class BarrierSubsystem:
         if obs is not None:
             obs.end(proc.now, self.pid)
         self._waiting = True
-        proc.block(f"barrier {bid}")
+        proc.block(f"barrier {bid}",
+                   waiting_on=f"P{self.manager} (barrier manager)")
         self._waiting = False
         departure = self._departure
         self._departure = None
@@ -196,7 +202,8 @@ class BarrierSubsystem:
                 obs.end(proc.now, self.pid)
         else:
             self._waiting = True
-            proc.block(f"barrier {bid} (manager)")
+            proc.block(f"barrier {bid} (manager)",
+                       waiting_on="remaining barrier arrivals")
             self._waiting = False
         self._last_barrier_vc = tuple(self.core.vc)
         proc.trace("barrier_release", f"bid={bid}")

@@ -98,6 +98,11 @@ class LrcCore:
         #: Optional observer (repro.analysis): receives access and
         #: diff-application events.  Never charges time or messages.
         self.sanitizer = None
+        #: Optional protocol invariant monitor (repro.verify.invariants):
+        #: receives interval-close / merge / barrier events and raises
+        #: InvariantViolation on a broken protocol rule.  Never charges
+        #: time or messages.
+        self.monitor = None
 
         self.eager = system.config.protocol == "eager"
         proc.register(CAT_DIFF_REQUEST, self._on_diff_request)
@@ -133,6 +138,9 @@ class LrcCore:
             self._uncharged.add(((self.pid, seq), page))
         record = IntervalRecord(creator=self.pid, seq=seq,
                                 vc=tuple(self.vc), pages=tuple(dirty))
+        if self.monitor is not None:
+            self.monitor.on_interval_close(self.pid, record, tuple(dirty),
+                                           self.proc.now)
         self.known[record.id] = record
         self._by_creator[self.pid].append(record)
         self.vc[self.pid] = seq + 1
@@ -216,6 +224,7 @@ class LrcCore:
         pages whose entire pending set it satisfies are patched and
         revalidated on the spot, saving the later fault round trip.
         """
+        vc_before = tuple(self.vc)
         touched_pages = set()
         for record in sorted(records, key=lambda r: r.seq):
             if record.id in self.known:
@@ -234,6 +243,9 @@ class LrcCore:
                 self.pending.setdefault(page, {})[record.id] = record
                 touched_pages.add(page)
         self.vc = list(vc_max(self.vc, their_vc))
+        if self.monitor is not None:
+            self.monitor.on_merge(self.pid, records, their_vc, vc_before,
+                                  tuple(self.vc), self.proc.now)
         if piggybacked:
             self._apply_piggybacked(touched_pages, piggybacked)
 
@@ -361,6 +373,7 @@ class LrcCore:
         for writer in sorted(assignment):
             wanted = assignment[writer]
             box = proc.mailbox()
+            box.waiting_on = f"P{writer} (diff holder)"
             request = DiffRequest(page=page, wanted=wanted,
                                   requester=self.pid, reply=box)
             if obs is not None:

@@ -1,0 +1,43 @@
+"""Protocol verification: schedule exploration, invariant monitors.
+
+Three layers (DESIGN.md section 5h):
+
+* :mod:`repro.verify.schedule` -- pluggable tie-break schedulers for the
+  deterministic engine (replayable recorded schedules, seeded random
+  walks);
+* :mod:`repro.verify.invariants` -- runtime monitors checking each DSM
+  protocol's correctness rules as a run executes;
+* :mod:`repro.verify.explorer` -- the bounded model checker that runs an
+  application under many schedules and asserts deadlock freedom,
+  invariant cleanliness, and result determinism.
+
+The protocol-implementation lints (the static layer) live in
+:mod:`repro.analysis.protolint`.
+"""
+
+from repro.verify.explorer import (ExplorationReport, ScheduleFailure,
+                                   explore, explore_app, fingerprint,
+                                   shrink_schedule)
+from repro.verify.invariants import (InvariantViolation, IvyInvariantMonitor,
+                                     ProtocolEvent, PvmOrderMonitor,
+                                     ScAbdInvariantMonitor,
+                                     TmkInvariantMonitor, attach_invariants)
+from repro.verify.schedule import RandomWalkScheduler, RecordingScheduler
+
+__all__ = [
+    "ExplorationReport",
+    "InvariantViolation",
+    "IvyInvariantMonitor",
+    "ProtocolEvent",
+    "PvmOrderMonitor",
+    "RandomWalkScheduler",
+    "RecordingScheduler",
+    "ScAbdInvariantMonitor",
+    "ScheduleFailure",
+    "TmkInvariantMonitor",
+    "attach_invariants",
+    "explore",
+    "explore_app",
+    "fingerprint",
+    "shrink_schedule",
+]

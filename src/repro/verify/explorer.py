@@ -1,0 +1,319 @@
+"""Schedule exploration: a bounded model checker for the simulator.
+
+A race-clean DSM application must compute the same result no matter how
+equal-virtual-time ties between ready threads are broken -- the tie-break
+order is a simulator artifact, not part of the modelled machines.  The
+explorer turns that into a checkable property: it runs an application
+many times under different tie-break schedules (systematic DFS over
+choice points for tiny configurations, seeded random walks otherwise)
+and asserts that
+
+* every explored schedule terminates (no deadlock, no engine abort),
+* every explored schedule passes the protocol invariant monitors, and
+* every explored schedule produces the same final result bytes
+  (compared by structural fingerprint) as the reference schedule.
+
+Failures are replayable: each carries the exact choice sequence (and the
+seed that generated it), and the explorer greedily *shrinks* a failing
+schedule -- resetting one divergent choice at a time back to the default
+-- to a locally-minimal reproducer before reporting it.
+
+Soundness caveats (see DESIGN.md section 5h): only thread-vs-thread ties
+at equal virtual time are explored; the engine's event-vs-thread policy
+(events win ties) is fixed, and no partial-order reduction is applied,
+so DFS exploration is exhaustive only up to the preemption bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.engine import EngineDeadlock
+from repro.verify.invariants import InvariantViolation
+from repro.verify.schedule import RandomWalkScheduler, RecordingScheduler
+
+__all__ = [
+    "ExplorationReport",
+    "ScheduleFailure",
+    "explore",
+    "explore_app",
+    "fingerprint",
+    "shrink_schedule",
+]
+
+
+def _update(h, value: Any) -> None:
+    if hasattr(value, "tobytes") and hasattr(value, "dtype"):
+        h.update(b"ndarray")
+        h.update(str(value.dtype).encode())
+        h.update(repr(value.shape).encode())
+        h.update(value.tobytes())
+    elif isinstance(value, (list, tuple)):
+        h.update(f"seq:{len(value)}".encode())
+        for item in value:
+            _update(h, item)
+    elif isinstance(value, dict):
+        h.update(f"dict:{len(value)}".encode())
+        for key in sorted(value, key=repr):
+            h.update(repr(key).encode())
+            _update(h, value[key])
+    else:
+        h.update(repr(value).encode())
+
+
+def fingerprint(value: Any) -> str:
+    """Structural sha-256 over a result value (arrays by exact bytes)."""
+    h = hashlib.sha256()
+    _update(h, value)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ScheduleFailure:
+    """One schedule that broke the property.
+
+    ``error`` is ``"deadlock"``, ``"invariant"``, ``"mismatch"``, or
+    ``"exception"``.  ``schedule`` is the (shrunk) choice sequence that
+    reproduces it with a :class:`RecordingScheduler`; ``seed`` is the
+    random-walk seed that first found it (``None`` under DFS).
+    """
+
+    schedule: Tuple[int, ...]
+    seed: Optional[int]
+    error: str
+    message: str
+
+    def __str__(self) -> str:
+        origin = "dfs" if self.seed is None else f"seed={self.seed}"
+        return (f"[{self.error}] schedule={list(self.schedule)} ({origin}): "
+                f"{self.message}")
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exploration campaign."""
+
+    app: str
+    system: str
+    nprocs: int
+    mode: str
+    #: Runs actually executed (deduplicated schedules only).
+    schedules_run: int = 0
+    #: Number of distinct full tie-break traces observed.
+    distinct_traces: int = 0
+    #: Fingerprint of the reference (default-schedule) result.
+    reference: str = ""
+    failures: List[ScheduleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURE(S)"
+        lines = [f"{self.app}/{self.system} nprocs={self.nprocs} "
+                 f"mode={self.mode}: {self.schedules_run} runs, "
+                 f"{self.distinct_traces} distinct schedules -- {status}"]
+        lines.extend(f"  {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Core engine: run one schedule, classify its outcome
+# ----------------------------------------------------------------------
+def _run_schedule(run_fn: Callable[[Any], Any], sched) -> Tuple[
+        Optional[str], Optional[ScheduleFailure]]:
+    """Run once under ``sched``; return (fingerprint, failure)."""
+    try:
+        result = run_fn(sched)
+    except EngineDeadlock as exc:
+        return None, ScheduleFailure(tuple(sched.trace), None, "deadlock",
+                                     str(exc).splitlines()[0])
+    except InvariantViolation as exc:
+        return None, ScheduleFailure(tuple(sched.trace), None, "invariant",
+                                     str(exc).splitlines()[0])
+    except Exception as exc:  # noqa: BLE001 -- any crash is a finding
+        return None, ScheduleFailure(tuple(sched.trace), None, "exception",
+                                     f"{type(exc).__name__}: {exc}")
+    return fingerprint(result), None
+
+
+def _check(run_fn, sched, expected: str,
+           seed: Optional[int]) -> Tuple[Tuple[int, ...],
+                                         Optional[ScheduleFailure]]:
+    fp, failure = _run_schedule(run_fn, sched)
+    trace = tuple(sched.trace)
+    if failure is not None:
+        return trace, ScheduleFailure(trace, seed, failure.error,
+                                      failure.message)
+    if fp != expected:
+        return trace, ScheduleFailure(
+            trace, seed, "mismatch",
+            f"result fingerprint {fp[:12]}... != reference "
+            f"{expected[:12]}...")
+    return trace, None
+
+
+def shrink_schedule(run_fn: Callable[[Any], Any],
+                    schedule: Sequence[int],
+                    expected: str) -> Tuple[int, ...]:
+    """Greedily shrink a failing schedule to a locally-minimal one.
+
+    Repeatedly tries resetting each non-default choice back to 0; keeps
+    any reset under which the failure (any failure) still reproduces.
+    The result is replayable with ``RecordingScheduler(schedule)``.
+    """
+    current = list(schedule)
+    # Drop the trailing defaults first: a RecordingScheduler treats
+    # missing choices as 0, so they carry no information.
+    while current and current[-1] == 0:
+        current.pop()
+    changed = True
+    while changed:
+        changed = False
+        for i, choice in enumerate(current):
+            if choice == 0:
+                continue
+            candidate = list(current)
+            candidate[i] = 0
+            _, failure = _check(run_fn, RecordingScheduler(candidate),
+                                expected, None)
+            if failure is not None:
+                current = candidate
+                while current and current[-1] == 0:
+                    current.pop()
+                changed = True
+                break
+    return tuple(current)
+
+
+# ----------------------------------------------------------------------
+# Exploration strategies
+# ----------------------------------------------------------------------
+def explore(run_fn: Callable[[Any], Any], *, mode: str = "random",
+            schedules: int = 25, seed: int = 0, max_flips: int = 2,
+            expected: Optional[str] = None, shrink: bool = True,
+            report: Optional[ExplorationReport] = None
+            ) -> ExplorationReport:
+    """Explore tie-break schedules of ``run_fn``.
+
+    ``run_fn(scheduler)`` must execute one complete, fresh run under the
+    given scheduler and return the application result.  ``mode`` is
+    ``"random"`` (seeded walks ``seed .. seed+schedules-1``) or ``"dfs"``
+    (systematic bounded-preemption DFS: every explored schedule differs
+    from the default in at most ``max_flips`` choice points).  The
+    reference fingerprint defaults to the default-schedule run; pass
+    ``expected`` to compare against an external reference instead (so a
+    deterministically-wrong implementation still diverges).
+    """
+    if report is None:
+        report = ExplorationReport(app="?", system="?", nprocs=0, mode=mode)
+    report.mode = mode
+
+    # Reference run under the default schedule (choices all 0).
+    ref_sched = RecordingScheduler()
+    ref_fp, ref_failure = _run_schedule(run_fn, ref_sched)
+    report.schedules_run += 1
+    seen: Set[Tuple[int, ...]] = {tuple(ref_sched.trace)}
+    if ref_failure is not None:
+        report.failures.append(ref_failure)
+        report.distinct_traces = len(seen)
+        return report
+    if expected is None:
+        expected = ref_fp
+    assert ref_fp is not None
+    report.reference = expected
+    if ref_fp != expected:
+        report.failures.append(ScheduleFailure(
+            (), None, "mismatch",
+            f"default schedule: result fingerprint {ref_fp[:12]}... != "
+            f"reference {expected[:12]}..."))
+
+    def record(trace: Tuple[int, ...],
+               failure: Optional[ScheduleFailure]) -> None:
+        if failure is not None:
+            schedule = failure.schedule
+            if shrink:
+                schedule = shrink_schedule(run_fn, schedule, expected)
+            report.failures.append(ScheduleFailure(
+                schedule, failure.seed, failure.error, failure.message))
+
+    if mode == "random":
+        for i in range(schedules):
+            sched = RandomWalkScheduler(seed + i)
+            trace, failure = _check(run_fn, sched, expected, seed + i)
+            report.schedules_run += 1
+            if trace in seen:
+                continue
+            seen.add(trace)
+            record(trace, failure)
+    elif mode == "dfs":
+        # Bounded-preemption DFS over choice points.  Each frontier entry
+        # is a (prefix, flips) pair; running it replays the prefix then
+        # defaults, and the recorded counts expose the new choice points
+        # reachable past the prefix.
+        frontier: List[Tuple[Tuple[int, ...], int]] = [
+            (tuple(ref_sched.trace[:i]) + (alt,), 1)
+            for i in range(len(ref_sched.counts))
+            for alt in range(1, ref_sched.counts[i])]
+        while frontier and report.schedules_run < schedules:
+            prefix, flips = frontier.pop()
+            sched = RecordingScheduler(prefix)
+            trace, failure = _check(run_fn, sched, expected, None)
+            report.schedules_run += 1
+            if trace in seen:
+                continue
+            seen.add(trace)
+            record(trace, failure)
+            if failure is not None or flips >= max_flips:
+                continue
+            for i in range(len(prefix), len(sched.counts)):
+                for alt in range(1, sched.counts[i]):
+                    frontier.append((trace[:i] + (alt,), flips + 1))
+    else:
+        raise ValueError(f"unknown exploration mode {mode!r}")
+
+    report.distinct_traces = len(seen)
+    return report
+
+
+def explore_app(app: str, system: str, nprocs: int, params: Any, *,
+                mode: str = "random", schedules: int = 25, seed: int = 0,
+                max_flips: int = 2, invariants: bool = True,
+                expected: Optional[str] = None, shrink: bool = True,
+                replicas: int = 3) -> ExplorationReport:
+    """Explore tie-break schedules of one registered application.
+
+    ``system`` is ``"tmk"``, ``"ivy"``, ``"pvm"``, or ``"scabd"`` (the
+    SC-ABD failure-masking mode: TreadMarks programs over quorum
+    replication with ``replicas`` page-replica servers).  Each schedule
+    runs on a fresh cluster with no result caching; with ``invariants``
+    (the default) the protocol monitors are attached so a coherence
+    violation is caught even when the final result happens to match.
+    """
+    from repro.apps import base  # local import: apps register at import
+    from repro.scabd import ReplicationConfig
+
+    run_system = system
+    replication = None
+    if system == "scabd":
+        run_system = "tmk"
+        replication = ReplicationConfig(replicas=replicas)
+
+    def run_fn(sched):
+        result = base.run_parallel(app, run_system, nprocs, params,
+                                   scheduler=sched, invariants=invariants,
+                                   replication=replication)
+        return result.result
+
+    report = ExplorationReport(app=app, system=system, nprocs=nprocs,
+                               mode=mode)
+    return explore(run_fn, mode=mode, schedules=schedules, seed=seed,
+                   max_flips=max_flips, expected=expected, shrink=shrink,
+                   report=report)
+
+
+# Annotation-only import kept explicit for 3.10 compatibility.
+_ = Dict

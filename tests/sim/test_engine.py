@@ -302,3 +302,180 @@ class TestDeterminism:
             return trace
 
         assert one_run() == one_run()
+
+
+class TestSchedulerHook:
+    def test_default_and_none_scheduler_agree(self):
+        from repro.sim.engine import Scheduler
+
+        def one_run(scheduler):
+            order = []
+            engine = Engine(scheduler=scheduler)
+
+            def make(i):
+                def body():
+                    th = engine._threads[i]
+                    for _ in range(3):
+                        order.append(i)
+                        th.advance(0.5)
+                        th.yield_point()
+                return body
+
+            for i in range(3):
+                engine.spawn(f"t{i}", make(i))
+            engine.run()
+            return order
+
+        assert one_run(None) == one_run(Scheduler())
+
+    def test_reverse_tiebreak_changes_order(self):
+        class Reverse:
+            def pick(self, ready):
+                return ready[-1]
+
+        order = []
+        engine = Engine(scheduler=Reverse())
+
+        def make(i):
+            def body():
+                order.append(i)
+            return body
+
+        for i in range(3):
+            engine.spawn(f"t{i}", make(i))
+        engine.run()
+        # All three tie at clock 0; the reverse policy runs them backwards.
+        assert order == [2, 1, 0]
+
+    def test_scheduler_only_consulted_on_ties(self):
+        picks = []
+
+        class Spy:
+            def pick(self, ready):
+                picks.append([t.tid for t in ready])
+                return ready[0]
+
+        engine = Engine(scheduler=Spy())
+        engine.spawn("a", lambda: None, clock=1.0)
+        engine.spawn("b", lambda: None, clock=2.0)
+        engine.run()
+        # Distinct clocks: never more than one candidate, never consulted.
+        assert picks == []
+
+
+class TestDeadlockDiagnostics:
+    def test_deadlock_dump_includes_reason_and_dependency(self):
+        engine = Engine()
+
+        def body():
+            engine._threads[0].block("waiting for grant",
+                                     waiting_on="P1 (manager)")
+
+        engine.spawn("stuck", body)
+        with pytest.raises(EngineDeadlock) as err:
+            engine.run()
+        message = str(err.value)
+        assert "reason=waiting for grant" in message
+        assert "waiting_on=P1 (manager)" in message
+
+    def test_wake_clears_dependency(self):
+        engine = Engine()
+
+        def blocker():
+            engine._threads[0].block("brief wait", waiting_on="the poker")
+
+        def poker():
+            th = engine._threads[1]
+            th.advance(1.0)
+            engine.unblock(engine._threads[0], th.clock)
+
+        engine.spawn("blocker", blocker)
+        engine.spawn("poker", poker)
+        engine.run()
+        th = engine._threads[0]
+        assert th.block_reason is None and th.waiting_on is None
+
+
+class TestWatchdog:
+    def test_watchdog_trips_on_event_livelock(self):
+        # One thread blocks forever while an event keeps reposting itself:
+        # no deadlock in the strict sense, but the run makes no progress.
+        engine = Engine(watchdog_events=5)
+
+        def repost():
+            engine.post(engine.horizon + 1.0, repost)
+
+        def body():
+            engine._threads[0].block("starved", waiting_on="nobody")
+
+        engine.spawn("starved", body)
+        engine.post(0.0, repost)
+        with pytest.raises(EngineDeadlock) as err:
+            engine.run()
+        message = str(err.value)
+        assert "watchdog" in message
+        assert "reason=starved" in message
+        assert "waiting_on=nobody" in message
+
+    def test_watchdog_not_tripped_by_ready_threads(self):
+        # Events interleaved with runnable threads reset the counter.
+        engine = Engine(watchdog_events=3)
+        fired = []
+
+        def body():
+            th = engine._threads[0]
+            for i in range(10):
+                engine.post(th.clock, lambda i=i: fired.append(i))
+                th.advance(0.1)
+                th.yield_point()
+
+        engine.spawn("busy", body)
+        engine.run()
+        assert len(fired) == 10
+
+
+class TestAbortUnwind:
+    def test_abort_unwinds_all_live_threads(self):
+        engine = Engine()
+
+        def failer():
+            engine._threads[0].advance(0.5)
+            raise RuntimeError("boom")
+
+        def bystander():
+            engine._threads[1].block("waiting forever")
+
+        engine.spawn("failer", failer)
+        engine.spawn("bystander", bystander)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+        # Every simulated thread (including the blocked bystander) is
+        # unwound and its host thread has exited.
+        for th in engine._threads:
+            assert th.state == "done"
+            assert not th._host.is_alive()
+
+    def test_run_reentry_from_inside_rejected(self):
+        engine = Engine()
+        caught = []
+
+        def body():
+            try:
+                engine.run()
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        engine.spawn("meta", body)
+        engine.run()
+        assert caught == ["engine is already running"]
+
+    def test_sequential_reruns_allowed_after_abort(self):
+        engine = Engine()
+        engine.spawn("failer", lambda: (_ for _ in ()).throw(ValueError("x")))
+        with pytest.raises(ValueError):
+            engine.run()
+        # The engine is not left in the running state after an abort.
+        engine2 = Engine()
+        th = engine2.spawn("ok", lambda: 7)
+        engine2.run()
+        assert th.result == 7

@@ -1,0 +1,75 @@
+"""The ``repro verify`` command and the run-level ``--invariants`` flag."""
+
+import pytest
+
+from repro.cli import build_parser, cmd_verify
+
+
+class TestParser:
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "fig02"])
+        assert args.experiment == "fig02"
+        assert args.system == "tmk"
+        assert args.nprocs == 3
+        assert args.preset == "tiny"
+        assert args.schedules == 25
+        assert args.mode == "random"
+        assert args.seed == 0
+        assert args.max_flips == 2
+        assert not args.no_invariants
+        assert not args.lint
+        assert args.lint_paths == "src/repro"
+
+    def test_verify_lint_only(self):
+        args = build_parser().parse_args(["verify", "--lint"])
+        assert args.experiment is None
+        assert args.lint
+
+    def test_run_accepts_invariants_flag(self):
+        args = build_parser().parse_args(
+            ["run", "fig02", "--invariants"])
+        assert args.invariants
+
+    def test_run_invariants_off_by_default(self):
+        args = build_parser().parse_args(["run", "fig02"])
+        assert not args.invariants
+
+
+class TestCmdVerify:
+    def test_explores_and_reports_ok(self):
+        text = cmd_verify("fig02", system="tmk", nprocs=3, schedules=3)
+        assert "sor/tmk" in text
+        assert "OK" in text
+
+    def test_lint_only_mode(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("X = 1\n")
+        text = cmd_verify(None, lint=True, lint_paths=str(clean))
+        assert "protocol lint: clean" in text
+
+    def test_lint_failure_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            'CAT = "orphan"\n'
+            "class C:\n"
+            "    def go(self):\n"
+            "        self.udp.send(0, 1, CAT, None, 32)\n")
+        with pytest.raises(SystemExit, match="PRT001"):
+            cmd_verify(None, lint=True, lint_paths=str(bad))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            cmd_verify("fig99")
+
+    def test_nothing_to_do_rejected(self):
+        with pytest.raises(SystemExit, match="nothing to do"):
+            cmd_verify(None)
+
+    def test_missing_lint_path_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such path"):
+            cmd_verify(None, lint=True,
+                       lint_paths=str(tmp_path / "nope"))
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,243 @@
+"""Invariant monitors: clean end-to-end runs, synthetic rule violations,
+and the deliberately-broken-protocol fixture."""
+
+import pytest
+
+from repro.apps import base
+from repro.apps.sor import SorParams
+from repro.scabd import ReplicationConfig
+from repro.tmk import consistency
+from repro.tmk.intervals import IntervalRecord
+from repro.verify import (InvariantViolation, IvyInvariantMonitor,
+                          PvmOrderMonitor, ScAbdInvariantMonitor,
+                          TmkInvariantMonitor)
+
+PARAMS = SorParams.tiny()
+
+
+class TestCleanRuns:
+    """A correct protocol triggers no violations, and the monitors are
+    attached for real (they observe a nonzero event stream)."""
+
+    @pytest.mark.parametrize("system", ["tmk", "ivy", "pvm"])
+    def test_clean_run_passes(self, system):
+        run = base.run_parallel("sor", system, 3, PARAMS, invariants=True)
+        assert run.invariant_monitor is not None
+        assert run.invariant_monitor.events_checked > 0
+
+    def test_clean_scabd_run_passes(self):
+        run = base.run_parallel("sor", "tmk", 3, PARAMS, invariants=True,
+                                replication=ReplicationConfig(replicas=3))
+        assert run.invariant_monitor is not None
+        assert run.invariant_monitor.events_checked > 0
+
+    def test_monitor_is_pure_observation(self):
+        plain = base.run_parallel("sor", "tmk", 3, PARAMS)
+        watched = base.run_parallel("sor", "tmk", 3, PARAMS,
+                                    invariants=True)
+        assert watched.time == plain.time
+        assert watched.total_messages() == plain.total_messages()
+
+
+def record(creator, seq, vc, pages):
+    return IntervalRecord(creator=creator, seq=seq, vc=tuple(vc),
+                          pages=tuple(pages))
+
+
+class TestTmkMonitor:
+    def test_sequence_must_advance_by_one(self):
+        mon = TmkInvariantMonitor(2)
+        mon.on_interval_close(0, record(0, 0, (0, 0), (1,)), (1,), 0.0)
+        with pytest.raises(InvariantViolation, match="advance by one"):
+            mon.on_interval_close(0, record(0, 2, (2, 0), (1,)), (1,), 1.0)
+
+    def test_vc_must_carry_own_seq(self):
+        mon = TmkInvariantMonitor(2)
+        with pytest.raises(InvariantViolation, match="sequence number"):
+            mon.on_interval_close(0, record(0, 0, (5, 0), (1,)), (1,), 0.0)
+
+    def test_write_notice_coverage(self):
+        mon = TmkInvariantMonitor(2)
+        with pytest.raises(InvariantViolation, match="write-notice"):
+            mon.on_interval_close(0, record(0, 0, (0, 0), (1,)),
+                                  (1, 2), 0.0)
+
+    def test_merge_never_goes_backwards(self):
+        mon = TmkInvariantMonitor(2)
+        with pytest.raises(InvariantViolation, match="backwards"):
+            mon.on_merge(0, [], (0, 0), (3, 1), (2, 1), 0.5)
+
+    def test_merge_takes_componentwise_max(self):
+        mon = TmkInvariantMonitor(2)
+        with pytest.raises(InvariantViolation, match="maximum"):
+            mon.on_merge(0, [], (1, 5), (3, 1), (3, 7), 0.5)
+
+    def test_clean_interval_stream_accepted(self):
+        mon = TmkInvariantMonitor(2)
+        mon.on_interval_close(0, record(0, 0, (0, 0), (1,)), (1,), 0.0)
+        mon.on_interval_close(0, record(0, 1, (1, 0), (2,)), (2,), 1.0)
+        mon.on_merge(1, [record(0, 1, (1, 0), (2,))], (1, 0), (0, 3),
+                     (1, 3), 2.0)
+        assert mon.events_checked == 3
+
+
+class TestIvyMonitor:
+    def test_write_install_requires_sole_copy(self):
+        mon = IvyInvariantMonitor(3)
+        # Initially every pid holds a read copy of every page.
+        with pytest.raises(InvariantViolation, match="single owner"):
+            mon.on_install(0, 4, True, 0.0)
+
+    def test_write_install_after_invalidations_ok(self):
+        mon = IvyInvariantMonitor(3)
+        mon.on_invalidate(1, 4, 0.0)
+        mon.on_invalidate(2, 4, 0.0)
+        mon.on_install(0, 4, True, 1.0)
+        assert mon.events_checked == 3
+
+    def test_read_install_blocked_by_foreign_writer(self):
+        mon = IvyInvariantMonitor(2)
+        mon.on_invalidate(1, 0, 0.0)
+        mon.on_install(0, 0, True, 1.0)
+        with pytest.raises(InvariantViolation, match="write copy"):
+            mon.on_install(1, 0, False, 2.0)
+
+    def test_double_invalidate_tolerated(self):
+        """The IVY owner is invalidated twice on a write transfer."""
+        mon = IvyInvariantMonitor(2)
+        mon.on_invalidate(1, 0, 0.0)
+        mon.on_invalidate(1, 0, 0.1)
+        assert mon.events_checked == 2
+
+    def test_grant_checks_copyset_contains_readers(self):
+        mon = IvyInvariantMonitor(3)
+        # All three pids hold the initial read copy, but the manager
+        # claims a copyset of just {0}.
+        with pytest.raises(InvariantViolation, match="copyset"):
+            mon.on_grant(0, 2, "read", 0, 0, frozenset({0}), 0.0)
+
+    def test_write_grant_requires_singleton_copyset(self):
+        mon = IvyInvariantMonitor(2)
+        mon.on_invalidate(0, 0, 0.0)
+        mon.on_invalidate(1, 0, 0.0)
+        with pytest.raises(InvariantViolation, match="only copyset"):
+            mon.on_grant(0, 0, "write", 1, 0, frozenset({0, 1}), 1.0)
+
+    def test_demote_downgrades_writer(self):
+        mon = IvyInvariantMonitor(2)
+        mon.on_invalidate(1, 0, 0.0)
+        mon.on_install(0, 0, True, 1.0)
+        mon.on_demote(0, 0, 2.0)
+        mon.on_install(1, 0, False, 3.0)  # legal: writer was demoted
+        assert mon.events_checked == 4
+
+
+class TestScAbdMonitor:
+    def test_one_flush_in_flight_per_page(self):
+        mon = ScAbdInvariantMonitor(2)
+        mon.on_flush_start(0, 3, 1, True, 0.0)
+        with pytest.raises(InvariantViolation, match="one flush"):
+            mon.on_flush_start(1, 3, 2, True, 0.5)
+
+    def test_flush_tags_strictly_increase(self):
+        mon = ScAbdInvariantMonitor(2)
+        mon.on_flush_start(0, 3, 5, True, 0.0)
+        mon.on_flush_complete(0, 3, 5, 1.0)
+        with pytest.raises(InvariantViolation, match="strictly increase"):
+            mon.on_flush_start(1, 3, 5, True, 2.0)
+
+    def test_home_tag_monotone(self):
+        mon = ScAbdInvariantMonitor(2)
+        mon.on_home_tag(0, 3, 0, 4, 0.0)
+        with pytest.raises(InvariantViolation, match="monotone"):
+            mon.on_home_tag(0, 3, 4, 2, 1.0)
+
+    def test_replica_tag_monotone(self):
+        mon = ScAbdInvariantMonitor(2)
+        with pytest.raises(InvariantViolation, match="never"):
+            mon.on_replica_store(5, 3, 7, 2, 2, 0.0)
+
+    def test_writer_implies_singleton_copyset(self):
+        mon = ScAbdInvariantMonitor(2)
+        mon.on_invalidate(0, 3, 0.0)
+        mon.on_invalidate(1, 3, 0.0)
+        with pytest.raises(InvariantViolation, match="copyset == {writer}"):
+            mon.on_home_grant(0, 3, "read", 0, 1, frozenset({0, 1}), 2, 1.0)
+
+    def test_write_grant_requires_others_gone(self):
+        mon = ScAbdInvariantMonitor(2)
+        # pid 1 still holds the initial read copy.
+        with pytest.raises(InvariantViolation, match="single writer"):
+            mon.on_home_grant(0, 3, "write", 0, None, frozenset({0}), 2, 0.0)
+
+
+class TestBarrierEpisodes:
+    def test_depart_before_all_arrived(self):
+        mon = TmkInvariantMonitor(3)
+        mon.on_barrier_arrive(0, 1, 0.0)
+        mon.on_barrier_arrive(1, 1, 0.1)
+        with pytest.raises(InvariantViolation, match="after all 3"):
+            mon.on_barrier_depart(0, 1, 0.2)
+
+    def test_double_arrive_in_one_episode(self):
+        mon = TmkInvariantMonitor(2)
+        mon.on_barrier_arrive(0, 1, 0.0)
+        with pytest.raises(InvariantViolation, match="at most once"):
+            mon.on_barrier_arrive(0, 1, 0.1)
+
+    def test_bid_reuse_across_episodes(self):
+        mon = TmkInvariantMonitor(2)
+        for episode in range(3):  # apps reuse barrier ids every iteration
+            mon.on_barrier_arrive(0, 1, episode + 0.0)
+            mon.on_barrier_arrive(1, 1, episode + 0.1)
+            mon.on_barrier_depart(0, 1, episode + 0.2)
+            mon.on_barrier_depart(1, 1, episode + 0.3)
+        assert mon.events_checked == 12
+
+
+class TestPvmMonitor:
+    def test_fifo_per_pair(self):
+        mon = PvmOrderMonitor(2)
+        mon.on_message(0, 1, 7, 1.0)
+        with pytest.raises(InvariantViolation, match="FIFO"):
+            mon.on_message(0, 1, 8, 0.5)
+
+    def test_pairs_independent(self):
+        mon = PvmOrderMonitor(3)
+        mon.on_message(0, 1, 7, 1.0)
+        mon.on_message(2, 1, 7, 0.5)  # different sender: no ordering
+        assert mon.events_checked == 2
+
+
+class TestBrokenProtocolFixture:
+    """A deliberately broken TreadMarks (an interval record that omits
+    its last write notice) must be caught by the runtime monitor."""
+
+    def test_skipped_write_notice_caught(self, monkeypatch):
+        real = IntervalRecord
+
+        def broken(creator, seq, vc, pages):
+            return real(creator=creator, seq=seq, vc=vc,
+                        pages=pages[:-1] if pages else pages)
+
+        monkeypatch.setattr(consistency, "IntervalRecord", broken)
+        with pytest.raises(InvariantViolation, match="write-notice"):
+            base.run_parallel("sor", "tmk", 3, PARAMS, invariants=True)
+
+    def test_same_break_invisible_without_monitors(self, monkeypatch):
+        """Without verification the broken protocol runs to completion,
+        silently computing with stale data -- the monitors are what turn
+        it into a failure."""
+        real = IntervalRecord
+
+        def broken(creator, seq, vc, pages):
+            return real(creator=creator, seq=seq, vc=vc,
+                        pages=pages[:-1] if pages else pages)
+
+        monkeypatch.setattr(consistency, "IntervalRecord", broken)
+        run = base.run_parallel("sor", "tmk", 3, PARAMS)
+        assert run.result is not None
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,110 @@
+"""Schedulers: default equivalence, replay, and seed reproducibility."""
+
+import pytest
+
+from repro.apps import base
+from repro.apps.sor import SorParams
+from repro.sim.engine import Engine, Scheduler
+from repro.verify import (RandomWalkScheduler, RecordingScheduler,
+                          fingerprint)
+
+PARAMS = SorParams.tiny()
+
+
+def run_sor(scheduler=None, system="tmk", nprocs=3):
+    return base.run_parallel("sor", system, nprocs, PARAMS,
+                             scheduler=scheduler)
+
+
+class TestRecordingScheduler:
+    def test_empty_choices_match_default(self):
+        """Choices exhausted -> index 0 -> the historical tie-break."""
+        default = run_sor(scheduler=None)
+        recorded = run_sor(scheduler=RecordingScheduler())
+        assert fingerprint(recorded.result) == fingerprint(default.result)
+        assert recorded.time == default.time
+
+    def test_out_of_range_choices_clamp_to_default(self):
+        default = run_sor(scheduler=None)
+        clamped = run_sor(scheduler=RecordingScheduler([99] * 50))
+        assert fingerprint(clamped.result) == fingerprint(default.result)
+
+    def test_records_trace_and_counts(self):
+        sched = RecordingScheduler()
+        run_sor(scheduler=sched)
+        assert len(sched.trace) == len(sched.counts)
+        assert len(sched.trace) > 0
+        assert all(c >= 2 for c in sched.counts)  # only real ties recorded
+        assert all(t == 0 for t in sched.trace)   # no choices given
+
+    def test_replay_reproduces_trace(self):
+        walk = RandomWalkScheduler(seed=11)
+        first = run_sor(scheduler=walk)
+        replay = RecordingScheduler(walk.trace)
+        second = run_sor(scheduler=replay)
+        assert replay.trace == walk.trace
+        assert fingerprint(second.result) == fingerprint(first.result)
+        assert second.time == first.time
+
+
+class TestRandomWalkScheduler:
+    def test_same_seed_same_schedule(self):
+        a = RandomWalkScheduler(seed=7)
+        b = RandomWalkScheduler(seed=7)
+        ra = run_sor(scheduler=a)
+        rb = run_sor(scheduler=b)
+        assert a.trace == b.trace
+        assert fingerprint(ra.result) == fingerprint(rb.result)
+
+    def test_different_seeds_usually_differ(self):
+        traces = set()
+        for seed in range(6):
+            sched = RandomWalkScheduler(seed=seed)
+            run_sor(scheduler=sched)
+            traces.add(tuple(sched.trace))
+        assert len(traces) > 1
+
+    def test_race_clean_app_result_schedule_independent(self):
+        reference = fingerprint(run_sor(scheduler=None).result)
+        for seed in range(4):
+            run = run_sor(scheduler=RandomWalkScheduler(seed=seed))
+            assert fingerprint(run.result) == reference
+
+
+class TestEngineHookUnit:
+    def test_base_scheduler_picks_first(self):
+        assert Scheduler().pick([1, 2, 3]) == 1
+
+    def test_pick_called_once_per_tie_group(self):
+        sched = RecordingScheduler()
+        engine = Engine(scheduler=sched)
+        for i in range(4):
+            engine.spawn(f"t{i}", lambda: None)
+        engine.run()
+        # Four threads tied at clock 0: one choice among 4, then (after
+        # the first finishes) among 3, then 2; a lone thread is no tie.
+        assert sched.counts == [4, 3, 2]
+
+    def test_recording_scheduler_directs_engine(self):
+        order = []
+        sched = RecordingScheduler([2, 0, 1])
+        engine = Engine(scheduler=sched)
+
+        def make(i):
+            return lambda: order.append(i)
+
+        for i in range(4):
+            engine.spawn(f"t{i}", make(i))
+        engine.run()
+        # choice 2 of [0,1,2,3] -> 2; choice 0 of [0,1,3] -> 0;
+        # choice 1 of [1,3] -> 3; last remaining -> 1.
+        assert order == [2, 0, 3, 1]
+
+    def test_golden_default_unscheduled(self):
+        """A None scheduler takes the zero-overhead historical path."""
+        engine = Engine()
+        assert engine.scheduler is None
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Standalone protocol-implementation lint:
+``python tools/lint_protocol.py [PATH...]``
+
+Runs the ``repro.analysis.protolint`` checks (PRT001-PRT008: message
+category exhaustiveness, blocking calls reachable from message handlers,
+blocking synchronization under a simulated lock, and the determinism
+lints -- shared random state, wall-clock reads, id()-keyed containers,
+set-order iteration in protocol paths) over the given files or
+directories.  Defaults to the runtime itself (``src/repro``).  Exit
+status 1 if any finding is produced, 0 otherwise -- suitable for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.analysis.protolint import lint_paths  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="lint the protocol implementations for exhaustiveness, "
+                    "handler-blocking, and determinism bugs (PRT001-PRT008)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        default=[_ROOT / "src" / "repro"],
+                        help="Python files or directories to lint "
+                             "(default: src/repro)")
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        if not path.exists():
+            parser.error(f"no such file or directory: {path}")
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
