@@ -245,6 +245,18 @@ class RunResult:
     def speedup(self) -> float:
         return self.seq_time / self.time
 
+    @property
+    def etag(self) -> str:
+        """Strong HTTP entity tag over the canonical result bytes.
+
+        Two records with byte-identical canonical encodings share an
+        ETag, so the serving layer's conditional requests (If-None-Match
+        -> 304) are stated over exactly the same bytes as every other
+        byte-identity guarantee in this repo.
+        """
+        import hashlib
+        return '"' + hashlib.sha256(self.to_json_bytes()).hexdigest() + '"'
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "schema_version": self.schema_version,

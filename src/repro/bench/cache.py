@@ -15,9 +15,15 @@ canonical JSON encoding of the full key material, which includes a
 source file invalidates every cached result (the safe default for a
 research harness: no stale numbers after a protocol change).
 
-Layout: ``<dir>/<key[:2]>/<key>.json``, written atomically (unique temp
-file + ``os.replace``) so concurrent sweep workers can share a directory.
-The cache directory is resolved per call from ``$REPRO_CACHE_DIR``, else
+Layout: ``<dir>/<key[:2]>/<key>.json`` -- sharded by key prefix so no
+single directory grows unboundedly under concurrent writers -- written
+crash-safely (unique temp file + ``fsync`` + ``os.replace``) so
+concurrent sweep workers and serve-layer worker processes can share a
+directory.  Every entry embeds a SHA-256 checksum of its payload;
+``get`` detects torn or corrupt entries (a crash mid-write, a truncated
+copy, bit rot) and moves them into ``<dir>/quarantine/`` instead of
+re-parsing the same broken file on every lookup (a miss-loop).  The
+cache directory is resolved per call from ``$REPRO_CACHE_DIR``, else
 ``<repo root>/.repro_cache``, else ``~/.cache/repro-sc95``.
 """
 
@@ -28,8 +34,8 @@ import json
 import os
 import pathlib
 import tempfile
-from functools import lru_cache
-from typing import Any, Dict, Optional
+import threading
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -51,22 +57,64 @@ def canonical_json(value: Any) -> str:
     return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
-@lru_cache(maxsize=1)
+#: Memoized fingerprint: (stat stamp of the source tree, digest).  The
+#: stamp is the sorted tuple of (relative path, mtime_ns, size) for
+#: every ``.py`` file -- a cheap ``stat`` pass.  Hashing the file
+#: *contents* (hundreds of KB) happens only when the stamp changes, so
+#: a long-lived server process pays one ``stat`` sweep per lookup
+#: instead of a full rehash, yet still picks up source edits (unlike
+#: the previous once-per-process ``lru_cache``, which a server would
+#: have to restart to invalidate).  ``tools/bench_serve.py`` reports
+#: the measured per-request saving in ``BENCH_serve.json``.
+_FINGERPRINT_LOCK = threading.Lock()
+_FINGERPRINT_MEMO: Optional[Tuple[Tuple[Tuple[str, int, int], ...], str]] = None
+
+
+def _source_files() -> list:
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    return [(path, str(path.relative_to(package_root)))
+            for path in sorted(package_root.rglob("*.py"))]
+
+
+def _source_stamp() -> Tuple[Tuple[str, int, int], ...]:
+    stamp = []
+    for path, rel in _source_files():
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        stamp.append((rel, st.st_mtime_ns, st.st_size))
+    return tuple(stamp)
+
+
 def source_fingerprint() -> str:
     """SHA-256 over every ``.py`` file under ``src/repro/`` (path + bytes).
 
-    Computed once per process.  Any source edit -- a cost constant, a
-    protocol change, a bug fix -- changes the fingerprint and therefore
-    every cache key derived from it.
+    Memoized per process, keyed on the (path, mtime, size) set: repeat
+    lookups cost one ``stat`` pass, and the full content hash is only
+    recomputed after an actual source edit -- a cost constant, a
+    protocol change, a bug fix -- which then changes the fingerprint
+    and therefore every cache key derived from it.
     """
-    package_root = pathlib.Path(__file__).resolve().parent.parent
+    global _FINGERPRINT_MEMO
+    stamp = _source_stamp()
+    with _FINGERPRINT_LOCK:
+        if _FINGERPRINT_MEMO is not None and _FINGERPRINT_MEMO[0] == stamp:
+            return _FINGERPRINT_MEMO[1]
     digest = hashlib.sha256()
-    for path in sorted(package_root.rglob("*.py")):
-        digest.update(str(path.relative_to(package_root)).encode())
+    for path, rel in _source_files():
+        try:
+            data = path.read_bytes()
+        except OSError:
+            continue
+        digest.update(rel.encode())
         digest.update(b"\0")
-        digest.update(path.read_bytes())
+        digest.update(data)
         digest.update(b"\0")
-    return digest.hexdigest()
+    value = digest.hexdigest()
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT_MEMO = (stamp, value)
+    return value
 
 
 def cache_key_from_material(material: Dict[str, Any]) -> str:
@@ -86,8 +134,30 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro-sc95"
 
 
+#: Subdirectory corrupt entries are moved into (never read back).
+QUARANTINE_DIR = "quarantine"
+
+#: Shard glob: entries live under two-hex-digit shard directories, so
+#: the quarantine directory is never scanned as entries.
+_SHARD_GLOB = "[0-9a-f][0-9a-f]/*.json"
+
+
 class ResultCache:
-    """A directory of content-addressed JSON result documents."""
+    """A directory of content-addressed JSON result documents.
+
+    Hardened for concurrent writers and hostile traffic:
+
+    * writes are crash-safe: unique temp file in the target shard,
+      ``fsync``, then atomic ``os.replace`` -- readers see either the
+      old entry or the new one, never a torn write;
+    * every entry embeds ``payload_sha256``; a torn or bit-rotted entry
+      fails the checksum (or JSON parse) and is *quarantined* -- moved
+      to ``quarantine/`` -- so the next lookup is a clean miss instead
+      of re-parsing the same broken file forever;
+    * version- or key-mismatched entries (legitimate format evolution,
+      misfiled copies) stay in place and read as misses; the next
+      ``put`` overwrites them.
+    """
 
     def __init__(self, directory: Optional[os.PathLike] = None) -> None:
         self.directory = (pathlib.Path(directory) if directory is not None
@@ -97,41 +167,80 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> pathlib.Path:
         return self.directory / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry out of the lookup path (best-effort)."""
+        qdir = self.directory / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            if target.exists():
+                target = qdir / f"{path.stem}.{os.getpid()}{path.suffix}"
+            os.replace(path, target)
+            self.quarantined += 1
+        except OSError:
+            pass  # concurrent quarantine/overwrite: the entry is gone
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` on a miss.
 
         Unreadable, corrupt, or version-mismatched entries are misses
         (never errors): the cache is an accelerator, not a dependency.
+        Corrupt entries (unparseable, or failing their embedded payload
+        checksum) are additionally quarantined.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, ValueError):
+                raw = fh.read()
+        except OSError:
             self.misses += 1
             return None
-        if (not isinstance(entry, dict)
-                or entry.get("cache_schema") != CACHE_SCHEMA_VERSION
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+        except ValueError:
+            # Torn write or bit rot: never a valid entry again.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if (entry.get("cache_schema") != CACHE_SCHEMA_VERSION
                 or entry.get("key") != key):
             self.misses += 1
             return None
+        checksum = entry.get("payload_sha256")
+        if checksum is not None:
+            actual = hashlib.sha256(
+                canonical_json(entry.get("payload")).encode()).hexdigest()
+            if actual != checksum:
+                self._quarantine(path)
+                self.misses += 1
+                return None
         self.hits += 1
         return entry.get("payload")
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        """Store ``payload`` under ``key`` (atomic, concurrency-safe)."""
+        """Store ``payload`` under ``key`` (atomic, crash-safe)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key,
-                 "payload": payload}
+        entry = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "payload": payload,
+            "payload_sha256": hashlib.sha256(
+                canonical_json(payload).encode()).hexdigest(),
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(canonical_json(entry))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -144,13 +253,36 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.directory.is_dir():
             return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return sum(1 for _ in self.directory.glob(_SHARD_GLOB))
+
+    def validate(self) -> Dict[str, int]:
+        """Scan every entry; quarantine corrupt ones.
+
+        Returns ``{"entries": ..., "corrupt": ..., "quarantined": ...}``
+        where ``corrupt`` counts entries that failed parsing or their
+        checksum during this scan, and ``quarantined`` counts files
+        sitting in the quarantine directory afterwards.  The serve-layer
+        chaos benchmark uses this for its zero-corruption assertion.
+        """
+        entries = corrupt = 0
+        if self.directory.is_dir():
+            for path in sorted(self.directory.glob(_SHARD_GLOB)):
+                entries += 1
+                before = self.quarantined
+                self.get(path.stem)
+                if self.quarantined != before:
+                    corrupt += 1
+        qdir = self.directory / QUARANTINE_DIR
+        in_quarantine = (sum(1 for _ in qdir.glob("*.json"))
+                         if qdir.is_dir() else 0)
+        return {"entries": entries - corrupt, "corrupt": corrupt,
+                "quarantined": in_quarantine}
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*/*.json"):
+            for path in self.directory.glob(_SHARD_GLOB):
                 path.unlink()
                 removed += 1
         return removed

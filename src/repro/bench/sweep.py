@@ -74,21 +74,34 @@ def sweep_configs(experiments: Optional[Sequence[str]] = None,
 
 @dataclass
 class SweepRun:
-    """One completed run of a sweep."""
+    """One run of a sweep: a result, or a recorded per-run error.
+
+    A worker process dying (``BrokenProcessPool``) or raising no longer
+    kills the whole sweep: the failed run carries ``error`` (and
+    ``result is None``) while every other run completes normally.
+    """
 
     config: RunConfig
-    result: RunResult
+    result: Optional[RunResult]
     #: True when the run was served from the persistent cache.
     cached: bool
     #: Host wall-clock seconds this run took (~0 on a cache hit).
     wall_seconds: float
+    #: Why this run produced no result (``None`` on success).
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
 
     def to_json(self) -> Dict[str, Any]:
         return {
             "config": self.config.to_json(),
-            "result": self.result.to_json(),
+            "result": self.result.to_json() if self.result is not None
+            else None,
             "cached": self.cached,
             "wall_seconds": self.wall_seconds,
+            "error": self.error,
         }
 
 
@@ -108,6 +121,10 @@ class SweepReport:
     def hit_rate(self) -> float:
         return self.hits / len(self.runs) if self.runs else 0.0
 
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.runs if not r.ok)
+
     def to_json(self) -> Dict[str, Any]:
         return {
             "jobs": self.jobs,
@@ -115,6 +132,7 @@ class SweepReport:
             "runs": [r.to_json() for r in self.runs],
             "cache_hits": self.hits,
             "cache_hit_rate": self.hit_rate,
+            "errors": self.errors,
         }
 
     def render(self) -> str:
@@ -125,15 +143,22 @@ class SweepReport:
         ]
         for r in self.runs:
             c = r.config
+            if r.result is None:
+                lines.append(
+                    f"{c.experiment:<12} {c.system:<6} {c.nprocs:>3} "
+                    f"{c.preset:<6} ERROR: {r.error}")
+                continue
             lines.append(
                 f"{c.experiment:<12} {c.system:<6} {c.nprocs:>3} "
                 f"{c.preset:<6} {r.result.time:>12.6f} "
                 f"{r.result.speedup:>8.2f} {r.result.messages:>10} "
                 f"{'yes' if r.cached else 'no':>6}")
-        lines.append(
-            f"{len(self.runs)} runs, {self.jobs} jobs, "
-            f"{self.wall_seconds:.2f}s wall, "
-            f"{self.hits}/{len(self.runs)} cache hits")
+        summary = (f"{len(self.runs)} runs, {self.jobs} jobs, "
+                   f"{self.wall_seconds:.2f}s wall, "
+                   f"{self.hits}/{len(self.runs)} cache hits")
+        if self.errors:
+            summary += f", {self.errors} error(s)"
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -148,6 +173,11 @@ def _sweep_worker(config_json: Dict[str, Any], cache_dir: Optional[str],
     from repro.api import RunConfig, run
     if cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = cache_dir
+    if os.environ.get("REPRO_SWEEP_CHAOS") == config_json.get("experiment"):
+        # Test hook: simulate the worker process dying mid-run.  An env
+        # var (not a monkeypatch) because spawn workers inherit the
+        # parent's environment but none of its interpreter state.
+        os._exit(1)
     config = RunConfig.from_json(config_json)
     started = time.perf_counter()
     result = run(config, use_cache=use_cache)
@@ -191,20 +221,70 @@ def run_sweep(configs: Iterable[RunConfig], jobs: int = 1, *,
         runs = _run_serial(configs, use_cache, cache)
         return SweepReport(runs=runs, jobs=1,
                            wall_seconds=time.perf_counter() - started)
-    from repro.api import RunResult
     payloads = [c.to_json() for c in configs]
-    with ProcessPoolExecutor(max_workers=jobs,
-                             mp_context=get_context("spawn")) as pool:
-        outcomes = list(pool.map(_sweep_worker, payloads,
-                                 [cache_dir] * len(payloads),
-                                 [use_cache] * len(payloads)))
-    runs = [
-        SweepRun(config=config,
-                 result=RunResult.from_json(out["result"],
-                                            cached=out["cached"]),
-                 cached=out["cached"],
-                 wall_seconds=out["wall_seconds"])
-        for config, out in zip(configs, outcomes)
-    ]
+    runs = _run_parallel(configs, payloads, jobs, cache_dir, use_cache)
     return SweepReport(runs=runs, jobs=jobs,
                        wall_seconds=time.perf_counter() - started)
+
+
+def _success_run(config: RunConfig, out: Dict[str, Any]) -> SweepRun:
+    from repro.api import RunResult
+    return SweepRun(config=config,
+                    result=RunResult.from_json(out["result"],
+                                               cached=out["cached"]),
+                    cached=out["cached"],
+                    wall_seconds=out["wall_seconds"])
+
+
+def _error_run(config: RunConfig, message: str) -> SweepRun:
+    return SweepRun(config=config, result=None, cached=False,
+                    wall_seconds=0.0, error=message)
+
+
+def _run_parallel(configs: Sequence[RunConfig],
+                  payloads: Sequence[Dict[str, Any]], jobs: int,
+                  cache_dir: Optional[str],
+                  use_cache: bool) -> List[SweepRun]:
+    """The submit-based parallel path, resilient to worker death.
+
+    A worker process dying breaks the *whole* executor: every pending
+    future raises ``BrokenProcessPool``, guilty and innocent alike.
+    Rather than letting that kill the sweep, each affected run is
+    retried in its own single-worker pool -- isolation guarantees a
+    repeat crash implicates exactly that run, which is then recorded as
+    a per-run error while everything else completes normally.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+    outcomes: List[Optional[SweepRun]] = [None] * len(configs)
+    broken: List[int] = []
+    with ProcessPoolExecutor(max_workers=jobs,
+                             mp_context=get_context("spawn")) as pool:
+        futures = {i: pool.submit(_sweep_worker, payloads[i], cache_dir,
+                                  use_cache)
+                   for i in range(len(configs))}
+        for i, future in futures.items():
+            try:
+                out = future.result()
+            except BrokenProcessPool:
+                broken.append(i)  # collateral or guilty: retry isolated
+            except Exception as exc:  # worker raised, pool still healthy
+                outcomes[i] = _error_run(
+                    configs[i], f"{type(exc).__name__}: {exc}")
+            else:
+                outcomes[i] = _success_run(configs[i], out)
+    for i in broken:
+        with ProcessPoolExecutor(
+                max_workers=1, mp_context=get_context("spawn")) as solo:
+            try:
+                out = solo.submit(_sweep_worker, payloads[i], cache_dir,
+                                  use_cache).result()
+            except BrokenProcessPool:
+                outcomes[i] = _error_run(
+                    configs[i],
+                    "worker process died (twice; once in isolation)")
+            except Exception as exc:
+                outcomes[i] = _error_run(
+                    configs[i], f"{type(exc).__name__}: {exc}")
+            else:
+                outcomes[i] = _success_run(configs[i], out)
+    return [run for run in outcomes if run is not None]

@@ -7,6 +7,9 @@ Commands::
     sweep EXP.. [options]      the whole run grid, fanned across CPU cores
                                through the persistent result cache
                                (``repro sweep all --jobs 8``)
+    serve [options]            HTTP service over the result cache with
+                               deadlines, backpressure, coalescing, and
+                               graceful degradation (``repro serve``)
     figure EXP [options]       a paper figure (speedup curves)
     table1 / table2 [options]  the paper's tables
     verify [EXP] [options]     protocol verification: explore tie-break
@@ -149,6 +152,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or <repo>/.repro_cache)")
     sweep.add_argument("--json", metavar="OUT.json", default=None,
                        help="also write the full sweep report as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve run/speedup/figure/profile/trace over HTTP through "
+             "the result cache, with deadlines, backpressure, and "
+             "graceful degradation (see DESIGN.md §5i)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8095,
+                       help="listen port (0 = pick an ephemeral port; "
+                            "the resolved port is printed)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for cold runs (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="admitted requests beyond the worker count "
+                            "before shedding with 429 (default 8)")
+    serve.add_argument("--deadline-ms", type=float, default=30000.0,
+                       help="default per-request deadline in ms "
+                            "(clients override with ?deadline_ms=)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: "
+                            "$REPRO_CACHE_DIR or <repo>/.repro_cache)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="honor ?inject=crash / ?inject=slow:SECONDS "
+                            "fault-injection requests (benchmarks and "
+                            "tests only)")
 
     figure = sub.add_parser("figure", help="render one paper figure")
     figure.add_argument("experiment", help="experiment id (fig01..fig12)")
@@ -474,6 +502,41 @@ def cmd_sweep(experiments: List[str], systems: str, nprocs: str,
     return text
 
 
+def cmd_serve(host: str, port: int, workers: int, queue_depth: int,
+              deadline_ms: float, cache_dir: Optional[str],
+              chaos: bool) -> int:
+    """Run the serving layer until interrupted (prints the bound URL)."""
+    import asyncio
+
+    from repro.serve import ReproServer, ServeConfig
+    try:
+        config = ServeConfig(host=host, port=port, workers=workers,
+                             queue_depth=queue_depth,
+                             default_deadline=deadline_ms / 1000.0,
+                             allow_injection=chaos)
+    except ValueError as exc:
+        raise SystemExit(f"bad serve configuration: {exc}")
+
+    async def _main() -> None:
+        server = ReproServer(config, cache_dir=cache_dir)
+        await server.start()
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(workers={workers}, queue={queue_depth}, "
+              f"cache={server.cache_dir}"
+              + (", chaos injection ENABLED" if chaos else "") + ")",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def cmd_figure(experiment: str, nprocs: str, preset: str) -> str:
     from repro.bench import harness
     from repro.bench.figures import render_figure
@@ -578,6 +641,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(cmd_sweep(args.experiment, args.systems, args.nprocs,
                         args.preset, args.jobs, args.no_cache,
                         args.cache_dir, json_out=args.json))
+    elif args.command == "serve":
+        return cmd_serve(args.host, args.port, args.workers,
+                         args.queue_depth, args.deadline_ms,
+                         args.cache_dir, args.chaos)
     elif args.command == "figure":
         print(cmd_figure(args.experiment, args.nprocs, args.preset))
     elif args.command in ("table1", "table2"):

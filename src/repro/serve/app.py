@@ -1,0 +1,513 @@
+"""The resilient serving layer: ``repro.serve`` over the result cache.
+
+An asyncio HTTP service exposing the repo's evaluation surface --
+``/run``, ``/speedup``, ``/figure``, ``/profile``, ``/trace`` -- over
+:func:`repro.api.run` and the persistent result cache, engineered for
+failure first.  Every response is classifiable (the ``X-Repro-Served``
+header) as exactly one of:
+
+* ``fresh`` -- computed now, or served from the disk cache;
+* ``coalesced`` -- rode an identical in-flight computation
+  (single-flight);
+* ``stale-degraded`` -- a last-known-good response served because the
+  circuit breaker is open, the pool is saturated, or the deadline
+  cannot admit a cold run; **always** marked with a ``Degraded:``
+  header so a degraded answer can never masquerade as a fresh one;
+* ``shed`` -- refused (429 + ``Retry-After``) because every degradation
+  rung above was unavailable.
+
+The invariants of the ladder (DESIGN.md §5i): a degraded response is
+always a *complete, previously-correct* result, never a partial one;
+shedding is explicit, never a hang; and the only 5xx the server ever
+originates is an *injected* fault surfacing to the request that
+injected it (marked ``X-Repro-Injected``).
+
+Conditional requests: 200 responses carry a strong ``ETag`` over the
+canonical result bytes -- the same bytes every byte-identity guarantee
+in this repo is stated over -- and ``If-None-Match`` yields a 304.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bench.cache import ResultCache, canonical_json, default_cache_dir
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.http import (HttpError, Request, Response, read_request,
+                              render_response)
+from repro.serve.pool import (DeadlineExceeded, PoolSaturated, WorkerCrash,
+                              WorkerPool)
+from repro.serve.singleflight import SingleFlight
+
+__all__ = ["ReproServer"]
+
+_SYSTEMS = ("tmk", "pvm", "ivy")
+_PRESETS = ("tiny", "bench", "paper")
+
+
+class _BadRequest(Exception):
+    """Client error; becomes a 400 with the message in the body."""
+
+
+@dataclass
+class _StaleEntry:
+    body: bytes
+    content_type: str
+    etag: str
+    stored_at: float
+
+
+def _etag_for(body: bytes) -> str:
+    return '"' + hashlib.sha256(body).hexdigest() + '"'
+
+
+def _json_body(value: Any) -> bytes:
+    return (canonical_json(value)).encode()
+
+
+class ReproServer:
+    """One serving instance (listener + pool + breaker + stale store)."""
+
+    def __init__(self, config: ServeConfig,
+                 cache_dir: Optional[str] = None) -> None:
+        self.config = config
+        self.cache_dir = (str(cache_dir) if cache_dir is not None
+                          else str(default_cache_dir()))
+        self.cache = ResultCache(self.cache_dir)
+        self.pool = WorkerPool(
+            config.workers, config.queue_depth,
+            retry_limit=config.retry_limit,
+            backoff_base=config.backoff_base,
+            backoff_cap=config.backoff_cap,
+            cache_dir=self.cache_dir)
+        self.breaker = CircuitBreaker(config.breaker_threshold,
+                                      config.breaker_cooldown)
+        self.flights = SingleFlight()
+        self._stale: "OrderedDict[str, _StaleEntry]" = OrderedDict()
+        self.metrics: Counter = Counter()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, *, prewarm: bool = True) -> None:
+        if prewarm:
+            await self.pool.prewarm()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(render_response(
+                        self._error(400, str(exc)), keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch_safely(request)
+                keep = request.keep_alive
+                writer.write(render_response(response, keep_alive=keep))
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection open: close quietly.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch_safely(self, request: Request) -> Response:
+        self.metrics["requests"] += 1
+        try:
+            return await self._dispatch(request)
+        except _BadRequest as exc:
+            return self._error(400, str(exc))
+
+    def _error(self, status: int, message: str,
+               headers: Optional[list] = None) -> Response:
+        self.metrics["bad_requests" if status == 400 else "errors"] += 1
+        return Response(status=status,
+                        body=_json_body({"error": message}),
+                        headers=(headers or [])
+                        + [("X-Repro-Served", "rejected")])
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: Request) -> Response:
+        if request.method != "GET":
+            return Response(status=405,
+                            body=_json_body({"error": "GET only"}),
+                            headers=[("X-Repro-Served", "rejected")])
+        path = request.path
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/metrics":
+            return self._metrics_response()
+        if path == "/run":
+            return await self._run_endpoint(request)
+        if path == "/speedup":
+            return await self._speedup_endpoint(request)
+        if path == "/figure":
+            return await self._figure_endpoint(request)
+        if path == "/profile":
+            return await self._profile_endpoint(request)
+        if path == "/trace":
+            return await self._trace_endpoint(request)
+        return Response(status=404,
+                        body=_json_body({"error": f"no route {path}"}),
+                        headers=[("X-Repro-Served", "rejected")])
+
+    def _healthz(self) -> Response:
+        return Response(status=200, body=_json_body({
+            "status": "ok",
+            "breaker": self.breaker.state,
+            "inflight": self.pool.inflight,
+            "flights": len(self.flights),
+        }), headers=[("X-Repro-Served", "ops")])
+
+    def _metrics_response(self) -> Response:
+        counters = dict(sorted(self.metrics.items()))
+        counters.update({
+            "coalesced": self.flights.coalesced,
+            "worker_crashes": self.pool.crashes,
+            "worker_retries": self.pool.retries,
+            "expired_in_queue": self.pool.expired_in_queue,
+            "breaker_opens": self.breaker.opens,
+            "breaker_state": self.breaker.state,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_quarantined": self.cache.quarantined,
+            "stale_entries": len(self._stale),
+        })
+        return Response(status=200, body=_json_body(counters),
+                        headers=[("X-Repro-Served", "ops")])
+
+    # ------------------------------------------------------------------
+    # Request parsing helpers
+    # ------------------------------------------------------------------
+    def _deadline_seconds(self, request: Request) -> float:
+        raw = request.query.get("deadline_ms") \
+            or request.headers.get("x-deadline-ms")
+        if raw is None:
+            return self.config.default_deadline
+        try:
+            ms = float(raw)
+        except ValueError:
+            raise _BadRequest(f"bad deadline_ms {raw!r}")
+        if ms <= 0:
+            raise _BadRequest(f"deadline_ms must be > 0, got {raw}")
+        return min(ms / 1000.0, self.config.max_deadline)
+
+    def _injection(self, request: Request) -> Optional[str]:
+        inject = request.query.get("inject")
+        if inject is None:
+            return None
+        if not self.config.allow_injection:
+            raise _BadRequest("fault injection is disabled on this server")
+        if inject != "crash" and not inject.startswith("slow:"):
+            raise _BadRequest(f"unknown injection {inject!r}")
+        return inject
+
+    @staticmethod
+    def _int_param(request: Request, name: str, default: int) -> int:
+        raw = request.query.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise _BadRequest(f"bad {name} {raw!r}")
+
+    @staticmethod
+    def _choice(request: Request, name: str, default: str,
+                choices: Tuple[str, ...]) -> str:
+        value = request.query.get(name, default)
+        if value not in choices:
+            raise _BadRequest(
+                f"{name} must be one of {', '.join(choices)}; got {value!r}")
+        return value
+
+    @staticmethod
+    def _experiment(request: Request) -> str:
+        exp = request.query.get("experiment")
+        if not exp:
+            raise _BadRequest("missing ?experiment=")
+        from repro.bench import harness
+        if exp not in harness.EXPERIMENTS:
+            raise _BadRequest(
+                f"unknown experiment {exp!r} "
+                f"(have: {', '.join(harness.EXPERIMENTS)})")
+        return exp
+
+    @staticmethod
+    def _logical_key(request: Request) -> str:
+        skip = {"deadline_ms", "inject"}
+        items = sorted((k, v) for k, v in request.query.items()
+                       if k not in skip)
+        return request.path + "?" + "&".join(f"{k}={v}" for k, v in items)
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+    def _stale_get(self, logical: str) -> Optional[_StaleEntry]:
+        return self._stale.get(logical)
+
+    def _stale_put(self, logical: str, body: bytes, content_type: str,
+                   etag: str) -> None:
+        self._stale[logical] = _StaleEntry(
+            body=body, content_type=content_type, etag=etag,
+            stored_at=time.monotonic())
+        self._stale.move_to_end(logical)
+        while len(self._stale) > self.config.stale_capacity:
+            self._stale.popitem(last=False)
+
+    def _respond_fresh(self, request: Request, logical: str, body: bytes,
+                       content_type: str, *, classification: str,
+                       cache_state: str) -> Response:
+        etag = _etag_for(body)
+        self._stale_put(logical, body, content_type, etag)
+        headers = [("ETag", etag),
+                   ("X-Repro-Served", classification),
+                   ("X-Repro-Cache", cache_state)]
+        if request.headers.get("if-none-match") == etag:
+            self.metrics["not_modified"] += 1
+            return Response(status=304, headers=headers)
+        self.metrics[classification] += 1
+        return Response(status=200, body=body, content_type=content_type,
+                        headers=headers)
+
+    def _degrade_or_shed(self, logical: str, reason: str) -> Response:
+        """The bottom half of the ladder: stale-degraded, else shed."""
+        stale = self._stale_get(logical)
+        if stale is not None:
+            age = time.monotonic() - stale.stored_at
+            self.metrics["degraded"] += 1
+            return Response(
+                status=200, body=stale.body,
+                content_type=stale.content_type,
+                headers=[("Degraded", f"stale; reason={reason}; "
+                                      f"age={age:.1f}s"),
+                         ("X-Repro-Served", "stale-degraded"),
+                         ("ETag", stale.etag)])
+        self.metrics["shed"] += 1
+        self.metrics[f"shed_{reason}"] += 1
+        return Response(
+            status=429,
+            body=_json_body({"error": "overloaded", "reason": reason}),
+            headers=[("Retry-After", f"{self.config.retry_after:g}"),
+                     ("X-Repro-Served", "shed"),
+                     ("X-Repro-Reason", reason)])
+
+    async def _compute(self, request: Request, logical: str,
+                       flight_key: str, payload: Dict[str, Any],
+                       deadline_s: float) -> Response:
+        """Run the cold path through the full resilience stack."""
+        deadline_at = time.monotonic() + deadline_s
+        payload = dict(payload)
+        payload["deadline"] = time.time() + deadline_s
+        inject = payload.get("inject")
+        if inject:
+            flight_key = f"{flight_key}|inject={inject}"
+        task = self.flights.peek(flight_key)
+        if task is not None:
+            task = self.flights.join(flight_key)
+            created = False
+        else:
+            if not self.breaker.allow():
+                return self._degrade_or_shed(logical, "breaker_open")
+            try:
+                self.pool.acquire_slot()
+            except PoolSaturated:
+                return self._degrade_or_shed(logical, "queue_full")
+            task = self.flights.create(
+                flight_key, lambda: self._run_flight(payload))
+            created = True
+        remaining = max(deadline_at - time.monotonic(), 0.001)
+        try:
+            data = await SingleFlight.wait(task, remaining)
+        except asyncio.TimeoutError:
+            self.metrics["deadline_timeouts"] += 1
+            return self._degrade_or_shed(logical, "deadline")
+        except DeadlineExceeded:
+            return self._degrade_or_shed(logical, "deadline")
+        except WorkerCrash as exc:
+            if exc.injected:
+                self.metrics["injected_errors"] += 1
+                return Response(
+                    status=500,
+                    body=_json_body({"error": "injected worker crash"}),
+                    headers=[("X-Repro-Injected", "crash"),
+                             ("X-Repro-Served", "error")])
+            return self._degrade_or_shed(logical, "worker_crash")
+        except (ValueError, KeyError) as exc:
+            # The worker rejected the request's parameters.
+            raise _BadRequest(str(exc))
+        body = data["body"].encode()
+        classification = "fresh" if created else "coalesced"
+        return self._respond_fresh(request, logical, body,
+                                   data["content_type"],
+                                   classification=classification,
+                                   cache_state="miss")
+
+    async def _run_flight(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The leader's computation (shared by every coalesced waiter)."""
+        try:
+            data = await self.pool.run_task(payload)
+        except WorkerCrash:
+            self.breaker.record_failure()
+            raise
+        else:
+            self.breaker.record_success()
+            return data
+        finally:
+            self.pool.release_slot()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    async def _run_endpoint(self, request: Request) -> Response:
+        from repro import api
+        experiment = self._experiment(request)
+        system = self._choice(request, "system", "tmk", _SYSTEMS)
+        nprocs = self._int_param(request, "nprocs", 8)
+        preset = self._choice(request, "preset", "bench", _PRESETS)
+        deadline_s = self._deadline_seconds(request)
+        inject = self._injection(request)
+        try:
+            config = api.RunConfig(experiment=experiment, system=system,
+                                   nprocs=nprocs, preset=preset)
+        except ValueError as exc:
+            raise _BadRequest(str(exc))
+        logical = self._logical_key(request)
+        key = api.cache_key(config)
+        if inject is None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                try:
+                    result = api.RunResult.from_json(payload, cached=True,
+                                                     cache_key=key)
+                except (KeyError, ValueError):
+                    result = None
+                if result is not None:
+                    return self._respond_fresh(
+                        request, logical, result.to_json_bytes(),
+                        "application/json", classification="fresh",
+                        cache_state="hit")
+        task_payload = {"kind": "run", "config": config.to_json()}
+        if inject is not None:
+            task_payload["inject"] = inject
+        return await self._compute(request, logical, key, task_payload,
+                                   deadline_s)
+
+    async def _speedup_endpoint(self, request: Request) -> Response:
+        experiment = self._experiment(request)
+        system = self._choice(request, "system", "tmk", _SYSTEMS)
+        preset = self._choice(request, "preset", "bench", _PRESETS)
+        raw = request.query.get("nprocs", "1,2,4,8")
+        try:
+            nprocs_list = [int(v) for v in raw.split(",") if v.strip()]
+        except ValueError:
+            raise _BadRequest(f"bad nprocs list {raw!r}")
+        if not nprocs_list or any(n < 1 for n in nprocs_list):
+            raise _BadRequest(f"bad nprocs list {raw!r}")
+        deadline_s = self._deadline_seconds(request)
+        inject = self._injection(request)
+        logical = self._logical_key(request)
+        payload = {"kind": "speedup", "experiment": experiment,
+                   "system": system, "nprocs_list": nprocs_list,
+                   "preset": preset}
+        if inject is not None:
+            payload["inject"] = inject
+        return await self._compute(request, logical, logical, payload,
+                                   deadline_s)
+
+    async def _figure_endpoint(self, request: Request) -> Response:
+        experiment = self._experiment(request)
+        preset = self._choice(request, "preset", "bench",
+                              ("bench", "paper"))
+        nprocs_csv = request.query.get("nprocs", "1,2,4,8")
+        try:
+            [int(v) for v in nprocs_csv.split(",")]
+        except ValueError:
+            raise _BadRequest(f"bad nprocs list {nprocs_csv!r}")
+        deadline_s = self._deadline_seconds(request)
+        inject = self._injection(request)
+        logical = self._logical_key(request)
+        payload = {"kind": "figure", "experiment": experiment,
+                   "nprocs_csv": nprocs_csv, "preset": preset}
+        if inject is not None:
+            payload["inject"] = inject
+        return await self._compute(request, logical, logical, payload,
+                                   deadline_s)
+
+    async def _profile_endpoint(self, request: Request) -> Response:
+        experiment = self._experiment(request)
+        system = self._choice(request, "system", "both",
+                              ("tmk", "pvm", "both"))
+        nprocs = self._int_param(request, "nprocs", 8)
+        preset = self._choice(request, "preset", "tiny", _PRESETS)
+        deadline_s = self._deadline_seconds(request)
+        inject = self._injection(request)
+        logical = self._logical_key(request)
+        payload = {"kind": "profile", "experiment": experiment,
+                   "system": system, "nprocs": nprocs, "preset": preset}
+        if inject is not None:
+            payload["inject"] = inject
+        return await self._compute(request, logical, logical, payload,
+                                   deadline_s)
+
+    async def _trace_endpoint(self, request: Request) -> Response:
+        app = request.query.get("app")
+        if not app:
+            raise _BadRequest("missing ?app=")
+        from repro.apps import base
+        try:
+            base.get_app(app)
+        except (KeyError, ValueError) as exc:
+            raise _BadRequest(str(exc))
+        nprocs = self._int_param(request, "nprocs", 2)
+        limit = self._int_param(request, "limit", 60)
+        deadline_s = self._deadline_seconds(request)
+        inject = self._injection(request)
+        logical = self._logical_key(request)
+        payload = {"kind": "trace", "app": app, "nprocs": nprocs,
+                   "limit": limit}
+        if inject is not None:
+            payload["inject"] = inject
+        return await self._compute(request, logical, logical, payload,
+                                   deadline_s)

@@ -1,0 +1,82 @@
+"""Circuit breaker over worker-pool health.
+
+Repeated worker crashes mean cold computations are currently hopeless;
+hammering the pool with more of them just multiplies the damage (every
+process-pool break also kills innocent in-flight work).  The breaker
+counts *consecutive* crashes; at the threshold it opens, and while open
+the service stops admitting cold runs -- requests fall down the
+degradation ladder (stale-degraded if a last-known-good response
+exists, shed otherwise).  After a cooldown one probe request is let
+through (half-open); success closes the breaker, another crash reopens
+it for a fresh cooldown.
+
+The monotonic clock is injectable so tests drive state transitions
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trip after N consecutive failures; probe after a cooldown."""
+
+    def __init__(self, threshold: int, cooldown: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_out = False
+        #: Times the breaker transitioned closed/half-open -> open.
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.cooldown:
+            self._state = HALF_OPEN
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May a cold computation start right now?
+
+        In the half-open state exactly one caller gets a True (the
+        probe); everyone else keeps degrading until its outcome lands.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN and not self._probe_out:
+            self._probe_out = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = CLOSED
+        self._probe_out = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        self._maybe_half_open()
+        if self._state == HALF_OPEN or self._failures >= self.threshold:
+            if self._state != OPEN:
+                self.opens += 1
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probe_out = False

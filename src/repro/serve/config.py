@@ -1,0 +1,88 @@
+"""Serving-layer configuration.
+
+One frozen dataclass holds every tunable of the resilient HTTP service:
+the listen address, the worker-pool shape (processes + admission queue),
+the failure policy (deadlines, retry/backoff, circuit breaker), and the
+degradation policy (stale store size, Retry-After hint).  The CLI
+(``repro serve``) and the chaos benchmark construct one of these; tests
+construct tighter ones (one worker, zero queue) to force each branch of
+the degradation ladder deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes the service's behavior under load."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 asks the OS for an ephemeral port (the resolved port
+    #: is printed by ``repro serve`` and exposed on the started server).
+    port: int = 8095
+
+    # -- worker pool + admission ---------------------------------------
+    #: Worker *processes* executing cold simulations (spawn start
+    #: method; cache reads/writes go through the shared disk cache).
+    workers: int = 2
+    #: Admitted-but-not-yet-running requests beyond the worker count.
+    #: A cold request arriving when ``workers + queue_depth`` slots are
+    #: taken is shed (429 + Retry-After) -- bounded memory, bounded
+    #: queueing delay.
+    queue_depth: int = 8
+
+    # -- deadlines ------------------------------------------------------
+    #: Per-request compute budget in seconds when the client sends no
+    #: ``deadline_ms`` query parameter / ``X-Deadline-Ms`` header.
+    default_deadline: float = 30.0
+    #: Hard ceiling on any client-requested deadline.
+    max_deadline: float = 300.0
+
+    # -- transient-failure policy --------------------------------------
+    #: Retries after a *transient* worker death (the pool broke under a
+    #: request that did not itself inject a crash) before giving up.
+    retry_limit: int = 3
+    #: Jittered exponential backoff between retries: attempt ``n``
+    #: sleeps ``uniform(0, min(backoff_cap, backoff_base * 2**n))``.
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+
+    # -- circuit breaker ------------------------------------------------
+    #: Consecutive worker crashes that trip the breaker open.
+    breaker_threshold: int = 3
+    #: Seconds the breaker stays open before a half-open probe.
+    breaker_cooldown: float = 5.0
+
+    # -- graceful degradation ------------------------------------------
+    #: Last-known-good responses kept in memory per logical request
+    #: (serves ``Degraded: stale`` answers while the breaker is open or
+    #: a deadline cannot admit a cold run).
+    stale_capacity: int = 256
+    #: ``Retry-After`` seconds attached to shed (429) responses.
+    retry_after: float = 1.0
+
+    # -- chaos hooks ----------------------------------------------------
+    #: Honor ``?inject=crash`` / ``?inject=slow:SECONDS`` requests
+    #: (worker kill / slow-run injection).  Only the chaos benchmark and
+    #: the tests enable this; injected failures are the *only* 5xx the
+    #: server ever originates.
+    allow_injection: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 0:
+            raise ValueError(
+                f"queue_depth must be >= 0, got {self.queue_depth}")
+        if self.default_deadline <= 0 or self.max_deadline <= 0:
+            raise ValueError("deadlines must be > 0")
+        if self.retry_limit < 0:
+            raise ValueError(
+                f"retry_limit must be >= 0, got {self.retry_limit}")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1, got "
+                             f"{self.breaker_threshold}")

@@ -1,0 +1,82 @@
+"""Single-flight coalescing: N identical cold requests, one computation.
+
+A popular result that is not yet cached is the serving layer's worst
+stampede: every concurrent request for it would admit its own worker
+task and simulate the same deterministic run N times.  Single-flight
+keys each in-progress computation; the first request (the *leader*)
+creates the flight and occupies a pool slot, every later identical
+request *joins* it for free and is marked coalesced.
+
+Each waiter applies its own deadline to a shielded view of the flight,
+so a short-deadline follower can give up (and degrade) without
+cancelling the computation out from under the leader -- and a flight
+whose leader times out still completes and warms the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """In-flight computations keyed by cache key."""
+
+    def __init__(self) -> None:
+        self._flights: Dict[str, asyncio.Task] = {}
+        #: Requests that joined an existing flight (diagnostics).
+        self.coalesced = 0
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def peek(self, key: str) -> Any:
+        """The live flight for ``key``, or ``None``.
+
+        Lets the caller decide *synchronously* whether a new request
+        needs an admission slot (leader) or rides along for free
+        (follower) -- there is no await between peek and create, so the
+        check cannot race on the single-threaded event loop.
+        """
+        existing = self._flights.get(key)
+        if existing is not None and existing.done():
+            return None
+        return existing
+
+    def join(self, key: str) -> asyncio.Task:
+        """Ride an existing flight (counts as coalesced)."""
+        task = self._flights[key]
+        self.coalesced += 1
+        return task
+
+    def create(self, key: str,
+               factory: Callable[[], Awaitable[Any]]) -> asyncio.Task:
+        """Start a new flight as its leader.
+
+        The leader's ``factory()`` coroutine runs as a task that keeps
+        running even if every waiter abandons it; the flight is
+        deregistered the moment it completes (success *or* failure --
+        a failed flight must not poison later requests).
+        """
+        task = asyncio.ensure_future(factory())
+        self._flights[key] = task
+
+        def _deregister(_t: asyncio.Task) -> None:
+            # Only remove our own registration: a done flight may have
+            # already been replaced by a newer one under the same key.
+            if self._flights.get(key) is task:
+                del self._flights[key]
+
+        task.add_done_callback(_deregister)
+        return task
+
+    @staticmethod
+    async def wait(task: asyncio.Task, timeout: float) -> Any:
+        """Await a flight under this waiter's own deadline.
+
+        Raises ``asyncio.TimeoutError`` for the waiter without
+        cancelling the shared task.
+        """
+        return await asyncio.wait_for(asyncio.shield(task), timeout)

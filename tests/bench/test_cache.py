@@ -1,6 +1,9 @@
 """Tests for the persistent result cache and its key derivation."""
 
 import json
+import random
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
 
 import pytest
 
@@ -202,3 +205,156 @@ class TestCacheVersioning:
         assert entry["cache_schema"] == cache_mod.CACHE_SCHEMA_VERSION
         assert entry["key"] == key
         assert entry["payload"] == {"v": 1}
+        assert len(entry["payload_sha256"]) == 64
+
+
+class TestQuarantine:
+    """Corrupt entries are moved aside, never re-parsed forever."""
+
+    def test_unparseable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, {"v": 1})
+        cache._path(key).write_text("{torn wr")  # simulated torn write
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not cache._path(key).exists()  # moved, not left in place
+        quarantine = tmp_path / cache_mod.QUARANTINE_DIR
+        assert len(list(quarantine.iterdir())) == 1
+        # The next lookup is a clean miss (no re-quarantine, no entry).
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "0" * 62
+        cache.put(key, {"v": 1})
+        entry = json.loads(cache._path(key).read_text())
+        entry["payload"] = {"v": 2}  # payload no longer matches checksum
+        cache._path(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+
+    def test_mismatched_schema_is_not_quarantined(self, tmp_path):
+        # Format evolution is not corruption: the entry reads as a miss
+        # and stays in place for the next put to overwrite.
+        cache = ResultCache(tmp_path)
+        key = "ef" + "0" * 62
+        cache.put(key, {"v": 1})
+        entry = json.loads(cache._path(key).read_text())
+        entry["cache_schema"] = 999
+        cache._path(key).write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 0
+        assert cache._path(key).exists()
+
+    def test_quarantined_entries_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        good = "aa" + "0" * 62
+        bad = "bb" + "0" * 62
+        cache.put(good, {"v": 1})
+        cache.put(bad, {"v": 2})
+        cache._path(bad).write_text("garbage")
+        assert cache.get(bad) is None
+        assert len(cache) == 1  # the quarantine dir is outside the glob
+        assert cache.clear() == 1
+
+    def test_validate_scans_and_reports(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            cache.put(f"{i:02x}" + "0" * 62, {"i": i})
+        cache._path("02" + "0" * 62).write_text("{broken")
+        state = cache.validate()
+        assert state == {"entries": 3, "corrupt": 1, "quarantined": 1}
+        # A second scan is clean: the corrupt entry is already gone.
+        assert cache.validate() == {"entries": 3, "corrupt": 0,
+                                    "quarantined": 1}
+
+
+def _hammer_worker(cache_dir, key, worker_id, iterations):
+    """Stress worker: concurrent put/get on one key + injected torn
+    writes.  Module-level so the spawn start method can pickle it.
+
+    Returns the number of *corrupt hits* observed -- payloads that were
+    not the complete document some writer stored.  The hardened cache
+    must make this zero: a reader sees a full entry or a miss, never a
+    fragment.
+    """
+    from repro.bench.cache import ResultCache
+    cache = ResultCache(cache_dir)
+    rng = random.Random(worker_id)
+    corrupt_hits = 0
+    for seq in range(iterations):
+        cache.put(key, {"worker": worker_id, "seq": seq,
+                        "blob": "x" * 2048})
+        if rng.random() < 0.25:
+            # Simulated torn write / bit rot: clobber the entry in
+            # place with a truncated document (bypassing the atomic
+            # tmp+rename path, as a crashed writer or bad disk would).
+            try:
+                with open(cache._path(key), "w") as fh:
+                    fh.write('{"cache_schema": 1, "key": "%s", "pay'
+                             % key)
+            except OSError:
+                pass
+        payload = cache.get(key)
+        if payload is not None:
+            if (set(payload) != {"worker", "seq", "blob"}
+                    or payload["blob"] != "x" * 2048):
+                corrupt_hits += 1
+    return corrupt_hits
+
+
+class TestConcurrentWriters:
+    """Satellite: N processes hammering one key never corrupt a hit."""
+
+    def test_concurrent_writers_with_torn_writes(self, tmp_path):
+        key = "77" + "0" * 62
+        workers = 4
+        iterations = 25
+        with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context("spawn")) as pool:
+            futures = [pool.submit(_hammer_worker, str(tmp_path), key,
+                                   i, iterations)
+                       for i in range(workers)]
+            corrupt_hits = [f.result() for f in futures]
+        # Invariant 1: nobody ever read a fragment of an entry.
+        assert corrupt_hits == [0] * workers
+        # Invariant 2: no temp files leak, even under the storm.
+        assert not list(tmp_path.rglob("*.tmp"))
+        # Invariant 3: whatever survived on disk is either a complete,
+        # checksummed entry or ends up quarantined -- a full scan finds
+        # at most the one final torn write, and a rescan is clean.
+        cache = ResultCache(tmp_path)
+        first = cache.validate()
+        assert first["entries"] + first["corrupt"] <= 1
+        rescan = cache.validate()
+        assert rescan["corrupt"] == 0
+        final = cache.get(key)
+        if final is not None:
+            assert set(final) == {"worker", "seq", "blob"}
+
+
+class TestFingerprintMemo:
+    def test_memo_hits_on_unchanged_tree(self):
+        with cache_mod._FINGERPRINT_LOCK:
+            cache_mod._FINGERPRINT_MEMO = None
+        first = source_fingerprint()
+        assert cache_mod._FINGERPRINT_MEMO is not None
+        memo_before = cache_mod._FINGERPRINT_MEMO
+        assert source_fingerprint() == first
+        assert cache_mod._FINGERPRINT_MEMO is memo_before  # no rehash
+
+    def test_memo_invalidated_by_stamp_change(self, monkeypatch):
+        with cache_mod._FINGERPRINT_LOCK:
+            cache_mod._FINGERPRINT_MEMO = None
+        first = source_fingerprint()
+        # Pretend a source file changed: the stamp no longer matches,
+        # so the content hash must be recomputed (same tree -> same
+        # digest, but via the slow path).
+        real_stamp = cache_mod._source_stamp
+        monkeypatch.setattr(cache_mod, "_source_stamp",
+                            lambda: real_stamp() + (("fake.py", 0, 0),))
+        assert source_fingerprint() == first
+        assert cache_mod._FINGERPRINT_MEMO[0][-1] == ("fake.py", 0, 0)

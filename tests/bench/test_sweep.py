@@ -78,6 +78,44 @@ class TestSweepExecution:
         assert data["wall_seconds"] >= 0
 
 
+class TestWorkerCrashRecovery:
+    """A crashed worker becomes a per-run error, not a dead sweep."""
+
+    def test_crash_recorded_and_sweep_continues(self, tmp_path,
+                                                monkeypatch):
+        # The chaos hook is an env var because spawn workers inherit
+        # the environment but not interpreter state (monkeypatched
+        # module globals never reach them).
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "fig02")
+        configs = sweep_configs(["fig01", "fig02", "fig03"],
+                                systems=("tmk",), nprocs=(2,),
+                                preset="tiny")
+        report = run_sweep(configs, jobs=2, cache_dir=str(tmp_path))
+        assert len(report.runs) == 3
+        assert report.errors == 1
+        by_exp = {r.config.experiment: r for r in report.runs}
+        crashed = by_exp["fig02"]
+        assert not crashed.ok and crashed.result is None
+        assert "died" in crashed.error
+        assert crashed.to_json()["result"] is None
+        # The innocent runs completed despite sharing the broken pool.
+        assert by_exp["fig01"].ok and by_exp["fig03"].ok
+        # And the report still renders / serializes.
+        text = report.render()
+        assert "ERROR" in text and "1 error(s)" in text
+        assert report.to_json()["errors"] == 1
+
+    def test_serial_sweep_unaffected_by_chaos_env(self, tmp_path,
+                                                  monkeypatch):
+        # The hook lives in the worker-process entry point; serial
+        # sweeps never cross a process boundary.
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "fig01")
+        configs = sweep_configs(["fig01"], systems=("tmk",), nprocs=(2,),
+                                preset="tiny")
+        report = run_sweep(configs, jobs=1, cache_dir=str(tmp_path))
+        assert report.errors == 0 and report.runs[0].ok
+
+
 class TestParallelByteIdentity:
     """The acceptance property over the full grid at the tiny preset."""
 

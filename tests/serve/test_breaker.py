@@ -1,0 +1,77 @@
+"""Circuit-breaker state machine, driven by a fake clock (no sleeps)."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, cooldown, clock=clock), clock
+
+
+class TestCircuitBreaker:
+    def test_closed_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold_only(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never 3 *consecutive* failures
+
+    def test_half_open_single_probe(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # exactly one probe...
+        assert not breaker.allow()   # ...everyone else keeps degrading
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() and breaker.allow()
+
+    def test_probe_failure_reopens_for_fresh_cooldown(self):
+        breaker, clock = make(threshold=3, cooldown=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe crashed: reopen immediately
+        assert breaker.state == OPEN
+        assert breaker.opens == 2
+        clock.advance(5.0)
+        assert not breaker.allow()  # fresh cooldown, not the old one
+        clock.advance(5.0)
+        assert breaker.allow()

@@ -1,0 +1,108 @@
+"""Unit tests for the minimal HTTP layer (parsing + rendering)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (HttpError, Response, read_request,
+                              read_response, render_request,
+                              render_response)
+
+
+def _parse_request(data: bytes):
+    async def parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(parse())
+
+
+def _parse_response(data: bytes):
+    async def parse():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_response(reader)
+
+    return asyncio.run(parse())
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        request = _parse_request(
+            b"GET /run?experiment=fig01&nprocs=4 HTTP/1.1\r\n"
+            b"Host: x\r\nX-Deadline-Ms: 250\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/run"
+        assert request.query == {"experiment": "fig01", "nprocs": "4"}
+        assert request.headers["x-deadline-ms"] == "250"
+        assert request.keep_alive
+
+    def test_connection_close(self):
+        request = _parse_request(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_clean_eof_is_none(self):
+        assert _parse_request(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError, match="malformed request line"):
+            _parse_request(b"GETONLY\r\n\r\n")
+
+    def test_bad_http_version(self):
+        with pytest.raises(HttpError, match="unsupported HTTP version"):
+            _parse_request(b"GET / SPDY/9\r\n\r\n")
+
+    def test_truncated_headers(self):
+        with pytest.raises(HttpError, match="inside headers"):
+            _parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n")
+
+    def test_oversized_request_line(self):
+        with pytest.raises(HttpError, match="too long"):
+            _parse_request(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+
+    def test_body_with_content_length(self):
+        request = _parse_request(
+            b"GET / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")
+        assert request.body == b"abcd"
+
+    def test_negative_content_length(self):
+        with pytest.raises(HttpError, match="Content-Length"):
+            _parse_request(
+                b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n")
+
+
+class TestResponseRendering:
+    def test_roundtrip_through_client_half(self):
+        rendered = render_response(Response(
+            status=200, body=b'{"ok": true}',
+            headers=[("ETag", '"abc"'), ("X-Repro-Served", "fresh")]))
+        parsed = _parse_response(rendered)
+        assert parsed.status == 200
+        assert parsed.body == b'{"ok": true}'
+        assert parsed.header("etag") == '"abc"'
+        assert parsed.header("X-Repro-Served") == "fresh"
+
+    def test_304_has_no_body(self):
+        rendered = render_response(Response(
+            status=304, body=b"should not appear",
+            headers=[("ETag", '"abc"')]))
+        assert b"should not appear" not in rendered
+        parsed = _parse_response(rendered)
+        assert parsed.status == 304 and parsed.body == b""
+
+    def test_connection_header(self):
+        keep = render_response(Response(status=200), keep_alive=True)
+        close = render_response(Response(status=200), keep_alive=False)
+        assert b"Connection: keep-alive" in keep
+        assert b"Connection: close" in close
+
+    def test_render_request(self):
+        raw = render_request("GET", "/metrics",
+                             {"If-None-Match": '"x"'})
+        request = _parse_request(raw)
+        assert request.path == "/metrics"
+        assert request.headers["if-none-match"] == '"x"'

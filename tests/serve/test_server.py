@@ -1,0 +1,258 @@
+"""End-to-end tests for the resilient serving layer.
+
+A real :class:`ReproServer` on an ephemeral port, driven through the
+repo's own HTTP client helpers.  The config is deliberately tight (one
+worker, tiny queue, 1-failure breaker, injection enabled) so every rung
+of the degradation ladder is reachable deterministically:
+
+fresh -> coalesced -> stale-degraded (``Degraded:`` header) -> shed.
+"""
+
+import asyncio
+import json
+
+from repro.serve import ReproServer, ServeConfig
+from repro.serve.http import read_response, render_request
+
+TINY_RUN = "/run?experiment=fig01&system=tmk&nprocs=2&preset=tiny"
+
+
+def make_config(**overrides):
+    defaults = dict(port=0, workers=1, queue_depth=2,
+                    default_deadline=60.0, retry_limit=1,
+                    backoff_base=0.01, backoff_cap=0.05,
+                    breaker_threshold=1, breaker_cooldown=30.0,
+                    allow_injection=True)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+async def fetch(server, target, headers=None, timeout=60.0):
+    reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                   server.port)
+    try:
+        writer.write(render_request("GET", target, headers))
+        await writer.drain()
+        return await asyncio.wait_for(read_response(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+def serve(coro_factory, cache_dir, **config_overrides):
+    """Run one test scenario against a live server, then tear it down.
+
+    Each test gets its own ``cache_dir`` (not the session-wide one from
+    conftest) so warm/cold expectations hold regardless of test order.
+    """
+
+    async def main():
+        server = ReproServer(make_config(**config_overrides),
+                             cache_dir=str(cache_dir))
+        await server.start(prewarm=True)
+        try:
+            return await coro_factory(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+class TestOpsEndpoints:
+    def test_healthz_and_metrics(self, tmp_path):
+        async def scenario(server):
+            health = await fetch(server, "/healthz")
+            assert health.status == 200
+            assert json.loads(health.body)["status"] == "ok"
+            metrics = await fetch(server, "/metrics")
+            data = json.loads(metrics.body)
+            assert data["breaker_state"] == "closed"
+            assert metrics.header("X-Repro-Served") == "ops"
+
+        serve(scenario, tmp_path)
+
+    def test_unknown_route_and_bad_method(self, tmp_path):
+        async def scenario(server):
+            missing = await fetch(server, "/nope")
+            assert missing.status == 404
+            assert missing.header("X-Repro-Served") == "rejected"
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(render_request("POST", "/run"))
+            await writer.drain()
+            response = await read_response(reader)
+            writer.close()
+            assert response.status == 405
+
+        serve(scenario, tmp_path)
+
+    def test_bad_parameters_are_400(self, tmp_path):
+        async def scenario(server):
+            for target in ["/run",  # missing experiment
+                           "/run?experiment=fig99",
+                           "/run?experiment=fig01&system=mpi",
+                           "/run?experiment=fig01&deadline_ms=-5",
+                           "/speedup?experiment=fig01&nprocs=two"]:
+                response = await fetch(server, target)
+                assert response.status == 400, target
+                assert response.header("X-Repro-Served") == "rejected"
+
+        serve(scenario, tmp_path)
+
+    def test_injection_rejected_when_disabled(self, tmp_path):
+        async def scenario(server):
+            response = await fetch(server, TINY_RUN + "&inject=crash")
+            assert response.status == 400
+            assert b"disabled" in response.body
+
+        serve(scenario, tmp_path, allow_injection=False)
+
+
+class TestServingLadder:
+    def test_fresh_then_warm_then_304(self, tmp_path):
+        async def scenario(server):
+            cold = await fetch(server, TINY_RUN)
+            assert cold.status == 200
+            assert cold.header("X-Repro-Served") == "fresh"
+            assert cold.header("X-Repro-Cache") == "miss"
+            etag = cold.header("ETag")
+            assert etag and etag.startswith('"')
+
+            warm = await fetch(server, TINY_RUN)
+            assert warm.status == 200
+            assert warm.header("X-Repro-Cache") == "hit"
+            assert warm.body == cold.body
+            assert warm.header("ETag") == etag
+
+            conditional = await fetch(server, TINY_RUN,
+                                      {"If-None-Match": etag})
+            assert conditional.status == 304
+            assert conditional.body == b""
+
+            # The served bytes are the canonical RunResult encoding.
+            from repro import api
+            config = api.RunConfig(experiment="fig01", system="tmk",
+                                   nprocs=2, preset="tiny")
+            direct = api.run(config, use_cache=False)
+            assert cold.body == direct.to_json_bytes()
+            assert etag == direct.etag
+
+        serve(scenario, tmp_path)
+
+    def test_identical_cold_requests_coalesce(self, tmp_path):
+        async def scenario(server):
+            target = ("/speedup?experiment=fig01&system=tmk&nprocs=1,2"
+                      "&preset=tiny&inject=slow:0.3")
+            responses = await asyncio.gather(
+                *[fetch(server, target) for _ in range(4)])
+            assert [r.status for r in responses] == [200] * 4
+            served = sorted(r.header("X-Repro-Served")
+                            for r in responses)
+            assert served.count("fresh") == 1
+            assert served.count("coalesced") == 3
+            assert len({r.body for r in responses}) == 1
+            assert server.flights.coalesced == 3
+
+        serve(scenario, tmp_path)
+
+    def test_injected_crash_is_the_only_5xx(self, tmp_path):
+        async def scenario(server):
+            crashed = await fetch(server, TINY_RUN + "&inject=crash")
+            assert crashed.status == 500
+            assert crashed.header("X-Repro-Injected") == "crash"
+            assert server.breaker.state == "open"
+            # An innocent cold request under the open breaker with no
+            # stale copy is shed -- a 429, never a 5xx.
+            shed = await fetch(
+                server, "/figure?experiment=fig02&nprocs=1,2&preset=bench")
+            assert shed.status == 429
+            assert shed.header("X-Repro-Served") == "shed"
+            assert shed.header("Retry-After") is not None
+            assert shed.header("X-Repro-Reason") == "breaker_open"
+
+        serve(scenario, tmp_path)
+
+    def test_stale_degraded_when_breaker_open(self, tmp_path):
+        async def scenario(server):
+            target = ("/speedup?experiment=fig01&system=tmk&nprocs=1,2"
+                      "&preset=tiny")
+            fresh = await fetch(server, target)
+            assert fresh.status == 200
+            crashed = await fetch(server, TINY_RUN + "&inject=crash")
+            assert crashed.status == 500
+            assert server.breaker.state == "open"
+
+            degraded = await fetch(server, target)
+            assert degraded.status == 200
+            assert degraded.header("X-Repro-Served") == "stale-degraded"
+            marker = degraded.header("Degraded")
+            assert marker is not None and "stale" in marker
+            assert "reason=breaker_open" in marker
+            assert degraded.body == fresh.body  # complete, last-known-good
+
+        serve(scenario, tmp_path)
+
+    def test_run_warm_path_survives_open_breaker(self, tmp_path):
+        async def scenario(server):
+            warm = await fetch(server, TINY_RUN)
+            assert warm.status == 200
+            crashed = await fetch(server, TINY_RUN + "&inject=crash")
+            assert crashed.status == 500
+            # /run results live in the disk cache; serving them needs no
+            # worker, so the open breaker does not degrade them.
+            again = await fetch(server, TINY_RUN)
+            assert again.status == 200
+            assert again.header("X-Repro-Served") == "fresh"
+            assert again.header("X-Repro-Cache") == "hit"
+
+        serve(scenario, tmp_path)
+
+    def test_deadline_shed_on_cold_key(self, tmp_path):
+        async def scenario(server):
+            response = await fetch(
+                server,
+                "/profile?experiment=fig03&system=tmk&nprocs=2"
+                "&preset=tiny&deadline_ms=1")
+            assert response.status == 429
+            assert response.header("X-Repro-Served") == "shed"
+            assert response.header("X-Repro-Reason") == "deadline"
+
+        serve(scenario, tmp_path)
+
+    def test_saturation_sheds_not_hangs(self, tmp_path):
+        async def scenario(server):
+            slow = ("/trace?app=water&nprocs=2&limit=5"
+                    "&inject=slow:{i}.5")
+            # Distinct targets so nothing coalesces: 1 worker + 2 queue
+            # slots; the 4th concurrent cold request must shed quickly.
+            targets = [slow.format(i=0) + f"&limit={5 + i}"
+                       for i in range(4)]
+            responses = await asyncio.gather(
+                *[fetch(server, t) for t in targets])
+            statuses = sorted(r.status for r in responses)
+            assert statuses.count(429) >= 1
+            shed = [r for r in responses if r.status == 429]
+            assert all(r.header("X-Repro-Reason") == "queue_full"
+                       for r in shed)
+
+        serve(scenario, tmp_path)
+
+
+class TestServerMetrics:
+    def test_metrics_reflect_the_ladder(self, tmp_path):
+        async def scenario(server):
+            await fetch(server, TINY_RUN)
+            await fetch(server, TINY_RUN)
+            crashed = await fetch(server, TINY_RUN + "&inject=crash")
+            assert crashed.status == 500
+            metrics = json.loads((await fetch(server, "/metrics")).body)
+            assert metrics["fresh"] >= 2
+            assert metrics["worker_crashes"] >= 1
+            assert metrics["injected_errors"] == 1
+            assert metrics["breaker_opens"] == 1
+            assert metrics["breaker_state"] == "open"
+
+        serve(scenario, tmp_path)

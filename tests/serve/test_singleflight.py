@@ -1,0 +1,116 @@
+"""Single-flight coalescing semantics (pure asyncio, no server)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_followers_share_the_leaders_result(self):
+        async def scenario():
+            flights = SingleFlight()
+            calls = []
+
+            async def compute():
+                calls.append(1)
+                await asyncio.sleep(0.01)
+                return "value"
+
+            leader = flights.create("k", compute)
+            assert flights.peek("k") is leader
+            follower = flights.join("k")
+            results = await asyncio.gather(
+                SingleFlight.wait(leader, 1.0),
+                SingleFlight.wait(follower, 1.0))
+            assert results == ["value", "value"]
+            assert calls == [1]
+            assert flights.coalesced == 1
+
+        run(scenario())
+
+    def test_done_flight_is_deregistered(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def compute():
+                return 42
+
+            task = flights.create("k", compute)
+            await task
+            await asyncio.sleep(0)  # let the done-callback run
+            assert flights.peek("k") is None
+            assert len(flights) == 0
+
+        run(scenario())
+
+    def test_waiter_timeout_does_not_cancel_the_flight(self):
+        async def scenario():
+            flights = SingleFlight()
+            finished = asyncio.Event()
+
+            async def compute():
+                await asyncio.sleep(0.05)
+                finished.set()
+                return "late"
+
+            task = flights.create("k", compute)
+            with pytest.raises(asyncio.TimeoutError):
+                await SingleFlight.wait(task, 0.001)
+            # The abandoned flight still completes (and would warm the
+            # cache for the next request).
+            assert await task == "late"
+            assert finished.is_set()
+
+        run(scenario())
+
+    def test_failed_flight_does_not_poison_later_requests(self):
+        async def scenario():
+            flights = SingleFlight()
+
+            async def boom():
+                raise RuntimeError("crash")
+
+            task = flights.create("k", boom)
+            with pytest.raises(RuntimeError):
+                await SingleFlight.wait(task, 1.0)
+            await asyncio.sleep(0)
+            assert flights.peek("k") is None  # next request leads anew
+
+            async def ok():
+                return "recovered"
+
+            task2 = flights.create("k", ok)
+            assert await SingleFlight.wait(task2, 1.0) == "recovered"
+
+        run(scenario())
+
+    def test_deregister_spares_a_newer_flight_under_the_same_key(self):
+        async def scenario():
+            flights = SingleFlight()
+            release = asyncio.Event()
+
+            async def first():
+                return "one"
+
+            async def second():
+                await release.wait()
+                return "two"
+
+            old = flights.create("k", first)
+            # One loop tick: the old flight runs to completion, but its
+            # deregister callback is still pending in the callback queue.
+            await asyncio.sleep(0)
+            assert old.done()
+            new = flights.create("k", second)
+            await asyncio.sleep(0)  # old's deregister runs *now*
+            assert flights.peek("k") is new  # ...and must not evict new
+            release.set()
+            assert await new == "two"
+
+        run(scenario())
