@@ -112,8 +112,12 @@ def source_fingerprint() -> str:
         digest.update(data)
         digest.update(b"\0")
     value = digest.hexdigest()
-    with _FINGERPRINT_LOCK:
-        _FINGERPRINT_MEMO = (stamp, value)
+    # Only memoize if the tree is unchanged since the stamp was taken:
+    # an edit landing mid-hash would otherwise pin the *new* stamp to a
+    # digest of mixed old/new content until the next mtime change.
+    if _source_stamp() == stamp:
+        with _FINGERPRINT_LOCK:
+            _FINGERPRINT_MEMO = (stamp, value)
     return value
 
 

@@ -156,6 +156,18 @@ class ReproServer:
             return await self._dispatch(request)
         except _BadRequest as exc:
             return self._error(400, str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Last-resort backstop: an unexpected error must still
+            # produce a classifiable response, never a dropped
+            # connection.  (Anything landing here is a server bug; the
+            # chaos benchmark's no-uninjected-5xx check will flag it.)
+            self.metrics["unexpected_errors"] += 1
+            return Response(
+                status=500,
+                body=_json_body({"error": f"internal error: {exc}"}),
+                headers=[("X-Repro-Served", "error")])
 
     def _error(self, status: int, message: str,
                headers: Optional[list] = None) -> Response:
@@ -244,14 +256,19 @@ class ReproServer:
         return inject
 
     @staticmethod
-    def _int_param(request: Request, name: str, default: int) -> int:
+    def _int_param(request: Request, name: str, default: int, *,
+                   minimum: int = 1, maximum: int = 100000) -> int:
         raw = request.query.get(name)
         if raw is None:
             return default
         try:
-            return int(raw)
+            value = int(raw)
         except ValueError:
             raise _BadRequest(f"bad {name} {raw!r}")
+        if not minimum <= value <= maximum:
+            raise _BadRequest(
+                f"{name} must be in [{minimum}, {maximum}], got {value}")
+        return value
 
     @staticmethod
     def _choice(request: Request, name: str, default: str,
@@ -391,6 +408,13 @@ class ReproServer:
         except WorkerCrash:
             self.breaker.record_failure()
             raise
+        except BaseException:
+            # Indeterminate outcome (expired while queued, parameters
+            # rejected, flight cancelled): no verdict on worker health,
+            # but a half-open probe must be handed back or the breaker
+            # wedges with the probe spent forever.
+            self.breaker.release_probe()
+            raise
         else:
             self.breaker.record_success()
             return data
@@ -404,7 +428,7 @@ class ReproServer:
         from repro import api
         experiment = self._experiment(request)
         system = self._choice(request, "system", "tmk", _SYSTEMS)
-        nprocs = self._int_param(request, "nprocs", 8)
+        nprocs = self._int_param(request, "nprocs", 8, maximum=64)
         preset = self._choice(request, "preset", "bench", _PRESETS)
         deadline_s = self._deadline_seconds(request)
         inject = self._injection(request)
@@ -443,7 +467,7 @@ class ReproServer:
             nprocs_list = [int(v) for v in raw.split(",") if v.strip()]
         except ValueError:
             raise _BadRequest(f"bad nprocs list {raw!r}")
-        if not nprocs_list or any(n < 1 for n in nprocs_list):
+        if not nprocs_list or any(not 1 <= n <= 64 for n in nprocs_list):
             raise _BadRequest(f"bad nprocs list {raw!r}")
         deadline_s = self._deadline_seconds(request)
         inject = self._injection(request)
@@ -462,8 +486,10 @@ class ReproServer:
                               ("bench", "paper"))
         nprocs_csv = request.query.get("nprocs", "1,2,4,8")
         try:
-            [int(v) for v in nprocs_csv.split(",")]
+            parsed = [int(v) for v in nprocs_csv.split(",")]
         except ValueError:
+            raise _BadRequest(f"bad nprocs list {nprocs_csv!r}")
+        if not parsed or any(not 1 <= n <= 64 for n in parsed):
             raise _BadRequest(f"bad nprocs list {nprocs_csv!r}")
         deadline_s = self._deadline_seconds(request)
         inject = self._injection(request)
@@ -479,7 +505,7 @@ class ReproServer:
         experiment = self._experiment(request)
         system = self._choice(request, "system", "both",
                               ("tmk", "pvm", "both"))
-        nprocs = self._int_param(request, "nprocs", 8)
+        nprocs = self._int_param(request, "nprocs", 8, maximum=64)
         preset = self._choice(request, "preset", "tiny", _PRESETS)
         deadline_s = self._deadline_seconds(request)
         inject = self._injection(request)
@@ -500,7 +526,7 @@ class ReproServer:
             base.get_app(app)
         except (KeyError, ValueError) as exc:
             raise _BadRequest(str(exc))
-        nprocs = self._int_param(request, "nprocs", 2)
+        nprocs = self._int_param(request, "nprocs", 2, maximum=64)
         limit = self._int_param(request, "limit", 60)
         deadline_s = self._deadline_seconds(request)
         inject = self._injection(request)

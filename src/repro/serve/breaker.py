@@ -71,6 +71,19 @@ class CircuitBreaker:
         self._state = CLOSED
         self._probe_out = False
 
+    def release_probe(self) -> None:
+        """Re-arm half-open after an *indeterminate* probe outcome.
+
+        A probe flight can end without a verdict on worker health -- its
+        deadline expired while it was queued, or the worker rejected the
+        request's parameters.  Neither success nor failure applies, but
+        the probe slot must not stay consumed forever (``allow()`` would
+        refuse every future cold request); hand it back so the next
+        request probes instead.
+        """
+        if self._state == HALF_OPEN:
+            self._probe_out = False
+
     def record_failure(self) -> None:
         self._failures += 1
         self._maybe_half_open()

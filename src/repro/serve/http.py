@@ -73,7 +73,13 @@ async def _read_headers(reader: asyncio.StreamReader) -> Dict[str, str]:
     headers: Dict[str, str] = {}
     total = 0
     while True:
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError):
+            # A single line beyond the StreamReader limit: readline()
+            # raises instead of returning, so map it to a 400 rather
+            # than letting it escape as an unhandled exception.
+            raise HttpError("header line too long")
         total += len(line)
         if total > MAX_HEADER_BYTES:
             raise HttpError("headers too large")

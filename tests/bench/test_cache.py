@@ -358,3 +358,17 @@ class TestFingerprintMemo:
                             lambda: real_stamp() + (("fake.py", 0, 0),))
         assert source_fingerprint() == first
         assert cache_mod._FINGERPRINT_MEMO[0][-1] == ("fake.py", 0, 0)
+
+    def test_no_memo_when_tree_changes_mid_hash(self, monkeypatch):
+        # An edit landing between the stat pass and the content hash
+        # would pair the new stamp with a digest of mixed old/new
+        # content; that inconsistent pair must not be memoized.
+        with cache_mod._FINGERPRINT_LOCK:
+            cache_mod._FINGERPRINT_MEMO = None
+        real_stamp = cache_mod._source_stamp
+        stamps = iter([real_stamp() + (("edited.py", 0, 0),),
+                       real_stamp()])
+        monkeypatch.setattr(cache_mod, "_source_stamp",
+                            lambda: next(stamps))
+        source_fingerprint()
+        assert cache_mod._FINGERPRINT_MEMO is None

@@ -62,6 +62,29 @@ class TestCircuitBreaker:
         assert breaker.state == CLOSED
         assert breaker.allow() and breaker.allow()
 
+    def test_indeterminate_probe_rearms_half_open(self):
+        # A probe flight can end with no health verdict (deadline
+        # expired in the queue, parameters rejected).  The probe slot
+        # must be handed back, or the breaker wedges half-open forever.
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()       # probe out
+        assert not breaker.allow()
+        breaker.release_probe()      # indeterminate outcome
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the next request probes again
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_release_probe_outside_half_open_is_noop(self):
+        breaker, _ = make(threshold=1, cooldown=10.0)
+        breaker.release_probe()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        breaker.release_probe()
+        assert breaker.state == OPEN and not breaker.allow()
+
     def test_probe_failure_reopens_for_fresh_cooldown(self):
         breaker, clock = make(threshold=3, cooldown=10.0)
         for _ in range(3):

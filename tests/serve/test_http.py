@@ -64,6 +64,14 @@ class TestRequestParsing:
         with pytest.raises(HttpError, match="too long"):
             _parse_request(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
 
+    def test_oversized_header_line(self):
+        # One header line beyond the StreamReader limit (64 KiB): the
+        # reader raises ValueError, which must surface as HttpError (a
+        # 400), not an unhandled exception that drops the connection.
+        with pytest.raises(HttpError, match="too long"):
+            _parse_request(b"GET / HTTP/1.1\r\nX-Big: "
+                           + b"a" * 70000 + b"\r\n\r\n")
+
     def test_body_with_content_length(self):
         request = _parse_request(
             b"GET / HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd")

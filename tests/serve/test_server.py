@@ -95,10 +95,31 @@ class TestOpsEndpoints:
                            "/run?experiment=fig99",
                            "/run?experiment=fig01&system=mpi",
                            "/run?experiment=fig01&deadline_ms=-5",
-                           "/speedup?experiment=fig01&nprocs=two"]:
+                           "/run?experiment=fig01&nprocs=9999",
+                           "/trace?app=water&nprocs=0",
+                           "/trace?app=water&limit=-3",
+                           "/speedup?experiment=fig01&nprocs=two",
+                           "/speedup?experiment=fig01&nprocs=0,8",
+                           "/figure?experiment=fig01&nprocs=1,-2"]:
                 response = await fetch(server, target)
                 assert response.status == 400, target
                 assert response.header("X-Repro-Served") == "rejected"
+
+        serve(scenario, tmp_path)
+
+    def test_unexpected_error_is_a_classified_500(self, tmp_path):
+        async def scenario(server):
+            def boom():
+                raise RuntimeError("wires crossed")
+            server._healthz = boom
+            response = await fetch(server, "/healthz")
+            assert response.status == 500
+            assert response.header("X-Repro-Served") == "error"
+            assert b"wires crossed" in response.body
+            # The connection survives: the next request still works.
+            metrics = await fetch(server, "/metrics")
+            assert metrics.status == 200
+            assert json.loads(metrics.body)["unexpected_errors"] == 1
 
         serve(scenario, tmp_path)
 
@@ -221,6 +242,40 @@ class TestServingLadder:
             assert response.header("X-Repro-Reason") == "deadline"
 
         serve(scenario, tmp_path)
+
+    def test_half_open_probe_survives_indeterminate_outcome(self, tmp_path):
+        """A probe whose flight ends without a health verdict must not
+        wedge the breaker half-open with the probe spent forever."""
+
+        async def scenario(server):
+            crashed = await fetch(server, TINY_RUN + "&inject=crash")
+            assert crashed.status == 500
+            assert server.breaker.state == "open"
+            await asyncio.sleep(0.15)  # cooldown elapses
+            assert server.breaker.state == "half-open"
+            # The probe request's deadline is unmeetable: its flight
+            # ends in a timeout/expiry, not success or WorkerCrash.
+            probe = await fetch(
+                server,
+                "/profile?experiment=fig04&system=tmk&nprocs=2"
+                "&preset=tiny&deadline_ms=1")
+            assert probe.status == 429
+            # Wait for the abandoned probe flight to land, then a cold
+            # request must still be admitted (probe re-armed or breaker
+            # closed), compute fresh, and leave the breaker closed.
+            for _ in range(200):
+                if server.pool.inflight == 0:
+                    break
+                await asyncio.sleep(0.05)
+            again = await fetch(
+                server,
+                "/profile?experiment=fig04&system=tmk&nprocs=2"
+                "&preset=tiny")
+            assert again.status == 200
+            assert again.header("X-Repro-Served") == "fresh"
+            assert server.breaker.state == "closed"
+
+        serve(scenario, tmp_path, breaker_cooldown=0.1)
 
     def test_saturation_sheds_not_hangs(self, tmp_path):
         async def scenario(server):
