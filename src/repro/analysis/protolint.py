@@ -66,6 +66,18 @@ _RANDOM_FNS = {"random", "randrange", "randint", "choice", "choices",
                "expovariate", "getrandbits", "seed"}
 
 
+def _sync_name(attr: str) -> str:
+    """Normalize a blocking-call attribute name.
+
+    The runtime exposes every blocking primitive twice: ``foo`` (the
+    thread-backend wrapper) and ``foo_g`` (the generator the coro
+    trampoline drives).  Both block the simulated processor identically,
+    so the lints treat ``wait_g``/``barrier_g``/``recv_g``/... exactly
+    like their undecorated forms.
+    """
+    return attr[:-2] if attr.endswith("_g") else attr
+
+
 def _is_protocol_path(path: str) -> bool:
     posix = path.replace("\\", "/")
     return any(d in posix for d in _PROTOCOL_DIRS)
@@ -173,7 +185,7 @@ def _lint_handler_blocking(tree: ast.Module, path: str,
             for node in ast.walk(methods[name]):
                 if (isinstance(node, ast.Call)
                         and isinstance(node.func, ast.Attribute)
-                        and node.func.attr in _BLOCKING_ATTRS):
+                        and _sync_name(node.func.attr) in _BLOCKING_ATTRS):
                     findings.append(LintFinding(
                         path=path, line=node.lineno, col=node.col_offset,
                         code="PRT003",
@@ -196,7 +208,7 @@ def _lint_sync_under_lock(tree: ast.Module, path: str,
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)):
                 continue
-            attr = node.func.attr
+            attr = _sync_name(node.func.attr)
             if attr == "lock_acquire":
                 held = node
             elif attr == "lock_release":

@@ -210,7 +210,7 @@ class _ShadowMap:
 #: similarly named directories are never skipped.
 _SKIP_FRAGMENTS = tuple(
     os.sep + "repro" + os.sep + layer + os.sep
-    for layer in ("tmk", "ivy", "analysis")
+    for layer in ("tmk", "ivy", "scabd", "analysis", "sim")
 )
 
 

@@ -138,8 +138,16 @@ class RunConfig:
     #: ``InvariantViolation`` mid-run.  Pure observation -- results and
     #: times are identical with or without it.
     invariants: bool = False
+    #: Execution backend: ``"threads"`` (one host thread per simulated
+    #: processor) or ``"coro"`` (cooperative continuations driven by a
+    #: run-to-block trampoline; required past a few hundred nodes).  The
+    #: two are byte-identical, so the cache key deliberately ignores this.
+    engine: str = "threads"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("threads", "coro"):
+            raise ValueError(
+                f"engine must be 'threads' or 'coro', got {self.engine!r}")
         if self.system not in _SYSTEMS:
             raise ValueError(
                 f"system must be one of {_SYSTEMS}, got {self.system!r}")
@@ -178,6 +186,7 @@ class RunConfig:
             "cost": _jsonify(self.cost),
             "replication": _jsonify(self.replication),
             "invariants": self.invariants,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -197,6 +206,7 @@ class RunConfig:
             replication=_dataclass_from_json(ReplicationConfig,
                                              data.get("replication")),
             invariants=bool(data.get("invariants", False)),
+            engine=data.get("engine", "threads"),
         )
 
 
@@ -329,6 +339,10 @@ def cache_key(config: RunConfig) -> str:
     # Key on the *resolved* cost constants only, so an explicit default
     # cost model and cost=None produce the same key.
     config_material.pop("cost")
+    # The two execution backends are byte-identical (enforced by
+    # tests/sim/test_engine_equivalence.py), so a record computed on one
+    # backend serves requests for the other.
+    config_material.pop("engine", None)
     material = {
         "kind": "run",
         "schema_version": RESULT_SCHEMA_VERSION,
@@ -396,7 +410,8 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
         config.experiment, config.system, config.nprocs, config.preset,
         faults=config.faults, analysis=config.analysis,
         recovery=config.recovery, obs=config.obs, cost=config.cost,
-        replication=config.replication, invariants=config.invariants)
+        replication=config.replication, invariants=config.invariants,
+        engine=config.engine)
     seq = harness.seq_time(config.experiment, config.preset)
     recovery = None
     if par.recovery is not None:

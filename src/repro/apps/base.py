@@ -44,22 +44,25 @@ __all__ = [
 ]
 
 
-def compute_polled(proc, total: float, poll, chunk: float = 5e-3) -> None:
+def compute_polled(proc, total: float, poll, chunk: float = 5e-3):
     """Charge ``total`` virtual seconds of master-side computation while
-    periodically invoking ``poll()``.
+    periodically invoking the generator ``poll()``.
 
     PVM's master/slave applications run the master and one slave as two
     *time-shared processes* on processor 0; a single-threaded simulated
     processor must emulate that by interleaving its own slave work with
     servicing slave requests, or the co-located slave's long computations
     would stall the whole cluster.
+
+    This is a generator (application bodies are generator-convention);
+    ``poll`` must be a generator function too.
     """
     remaining = total
     while remaining > 0:
         dt = min(chunk, remaining)
         proc.compute(dt)
         remaining -= dt
-        poll()
+        yield from poll()
 
 
 class SeqMeter:
@@ -182,7 +185,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  obs: Optional[ObsConfig] = None,
                  replication: Optional[ReplicationConfig] = None,
                  scheduler: Optional[Any] = None,
-                 invariants: bool = False) -> ParallelResult:
+                 invariants: bool = False,
+                 engine: str = "threads") -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -222,6 +226,11 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     ``InvariantViolation`` mid-run.  Neither changes virtual-time
     accounting: a default-scheduled run with invariants on computes
     byte-identical results.
+
+    ``engine`` selects the execution backend: ``"threads"`` (one host
+    thread per simulated processor, the historical default) or ``"coro"``
+    (cooperative continuations on one host thread -- required past a few
+    hundred simulated processors).  Both produce byte-identical results.
     """
     spec = get_app(app) if isinstance(app, str) else app
     if system not in ("tmk", "pvm", "ivy"):
@@ -252,7 +261,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         total_procs = nprocs + (replication.replicas if mask else 0)
         cluster = Cluster(total_procs, config=ClusterConfig(
             cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs,
-            scheduler=scheduler))
+            scheduler=scheduler, engine=engine))
         sanitizer = None
         scabd_system = None
         if mask:

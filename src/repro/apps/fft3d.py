@@ -143,35 +143,37 @@ def tmk_main(proc, params: FftParams):
     # in the same order).
     bid = [100]
 
-    def next_barrier() -> None:
-        tmk.barrier(bid[0])
+    def next_barrier():
+        yield from tmk.barrier_g(bid[0])
         bid[0] += 1
 
-    def transpose_a_to_b(a_slab: np.ndarray) -> np.ndarray:
+    def transpose_a_to_b(a_slab: np.ndarray):
         """a_slab is (i, j, k); write (k, i, j) slices; read my k-slab."""
-        shared_b.write((slice(None), slice(ilo, ihi), slice(None)),
-                       a_slab.transpose(2, 0, 1))
-        next_barrier()
-        return np.asarray(shared_b.read(
-            (slice(klo, khi), slice(None), slice(None)))).copy()
+        yield from shared_b.write_g((slice(None), slice(ilo, ihi), slice(None)),
+                                    a_slab.transpose(2, 0, 1))
+        yield from next_barrier()
+        block = yield from shared_b.read_g(
+            (slice(klo, khi), slice(None), slice(None)))
+        return np.asarray(block).copy()
 
-    def transpose_b_to_a(b_slab: np.ndarray) -> np.ndarray:
+    def transpose_b_to_a(b_slab: np.ndarray):
         """b_slab is (k, i, j); write (i, k, j) slices; read my i-slab."""
-        shared_a2.write((slice(None), slice(klo, khi), slice(None)),
-                        b_slab.transpose(1, 0, 2))
-        next_barrier()
-        return np.asarray(shared_a2.read(
-            (slice(ilo, ihi), slice(None), slice(None)))).copy()
+        yield from shared_a2.write_g((slice(None), slice(klo, khi), slice(None)),
+                                     b_slab.transpose(1, 0, 2))
+        yield from next_barrier()
+        block = yield from shared_a2.read_g(
+            (slice(ilo, ihi), slice(None), slice(None)))
+        return np.asarray(block).copy()
 
     a_slab = initial_field(params)[ilo:ihi]
     # Forward 3-D FFT (warm-up, excluded -- the paper excludes the initial
     # distribution).
     work = np.fft.fft(np.fft.fft(a_slab, axis=2), axis=1)
     proc.compute(_fft_cost(my_points_a, 2))
-    b_slab = transpose_a_to_b(work)          # (k, i, j)
+    b_slab = yield from transpose_a_to_b(work)   # (k, i, j)
     freq = np.fft.fft(b_slab, axis=1)        # n1-point FFTs, now local
     proc.compute(_fft_cost(my_points_b, 1))
-    next_barrier()
+    yield from next_barrier()
     if tmk.pid == 0:
         proc.cluster.start_measurement(proc)
     checksums: List[complex] = []
@@ -181,7 +183,7 @@ def tmk_main(proc, params: FftParams):
         # Inverse: the local n1 axis first, transpose back, then the rest.
         work = np.fft.ifft(freq, axis=1)
         proc.compute(_fft_cost(my_points_b, 1))
-        a2_slab = transpose_b_to_a(work)      # (i, k, j)
+        a2_slab = yield from transpose_b_to_a(work)   # (i, k, j)
         a2_slab = np.fft.ifft(np.fft.ifft(a2_slab, axis=1), axis=2)
         proc.compute(_fft_cost(my_points_a, 2))
         checksums.append(complex(a2_slab.sum()))
@@ -189,7 +191,7 @@ def tmk_main(proc, params: FftParams):
         # FFT over j and k, then hand (i, j, k) to the transpose.
         work = np.fft.fft(np.fft.fft(a2_slab, axis=2), axis=1)
         proc.compute(_fft_cost(my_points_a, 2))
-        b_slab = transpose_a_to_b(work.transpose(0, 2, 1))
+        b_slab = yield from transpose_a_to_b(work.transpose(0, 2, 1))
         freq = np.fft.fft(b_slab, axis=1)
         proc.compute(_fft_cost(my_points_b, 1))
     if tmk.pid == 0:
@@ -205,7 +207,7 @@ _TAG_BWD = 71
 
 
 def _pvm_transpose(pvm, proc, local: np.ndarray, my_lo: int,
-                   src_extent: int, dst_extent: int, tag: int) -> np.ndarray:
+                   src_extent: int, dst_extent: int, tag: int):
     """All-to-all transpose: ``local`` is my (planes, n_mid, src_extent)
     slab; returns my (dst planes, n_mid, src_total...) transposed slab.
 
@@ -228,9 +230,9 @@ def _pvm_transpose(pvm, proc, local: np.ndarray, my_lo: int,
         block = local[:, :, plo:phi].transpose(2, 1, 0)
         buf = pvm.initsend()
         buf.pkdcplx(np.ascontiguousarray(block).reshape(-1))
-        pvm.send(p, tag, buf)
+        yield from pvm.send_g(p, tag, buf)
     for _ in range(n - 1):
-        got = pvm.recv(-1, tag)
+        got = yield from pvm.recv_g(-1, tag)
         slo, shi = slab(got.src, n, src_extent)
         count = (dhi - dlo) * n_mid * (shi - slo)
         out[:, :, slo:shi] = got.upkdcplx(count).reshape(
@@ -250,7 +252,7 @@ def pvm_main(proc, params: FftParams):
     a_slab = initial_field(params)[ilo:ihi]
     work = np.fft.fft(np.fft.fft(a_slab, axis=2), axis=1)
     proc.compute(_fft_cost(my_points_a, 2))
-    b_slab = _pvm_transpose(pvm, proc, work, ilo, n1, n3, _TAG_FWD)
+    b_slab = yield from _pvm_transpose(pvm, proc, work, ilo, n1, n3, _TAG_FWD)
     freq = np.fft.fft(b_slab, axis=2)
     proc.compute(_fft_cost(my_points_b, 1))
     if me == 0:
@@ -261,13 +263,15 @@ def pvm_main(proc, params: FftParams):
         proc.compute(my_points_b * EVOLVE_CPU)
         work = np.fft.ifft(freq, axis=2)
         proc.compute(_fft_cost(my_points_b, 1))
-        a_slab = _pvm_transpose(pvm, proc, work, klo, n3, n1, _TAG_BWD)
+        a_slab = yield from _pvm_transpose(pvm, proc, work, klo, n3, n1,
+                                           _TAG_BWD)
         a_slab = np.fft.ifft(np.fft.ifft(a_slab, axis=1), axis=2)
         proc.compute(_fft_cost(my_points_a, 2))
         checksums.append(complex(a_slab.sum()))
         work = np.fft.fft(np.fft.fft(a_slab, axis=2), axis=1)
         proc.compute(_fft_cost(my_points_a, 2))
-        b_slab = _pvm_transpose(pvm, proc, work, ilo, n1, n3, _TAG_FWD)
+        b_slab = yield from _pvm_transpose(pvm, proc, work, ilo, n1, n3,
+                                           _TAG_FWD)
         freq = np.fft.fft(b_slab, axis=2)
         proc.compute(_fft_cost(my_points_b, 1))
     return np.array(checksums)

@@ -124,54 +124,62 @@ def tmk_main(proc, params: QsortParams):
     # top-of-queue index and outstanding-task count, one page.
     meta = tmk.shared_array("qs_meta", (2,), np.int32)
     if tmk.pid == 0:
-        arr.write(slice(0, params.nkeys), initial_keys(params))
-        queue.write((slice(0, 1), slice(None)), [[0, params.nkeys]])
-        meta.write(slice(0, 2), [1, 1])  # qtop = 1, outstanding = 1
-    tmk.barrier(0)
+        yield from arr.write_g(slice(0, params.nkeys), initial_keys(params))
+        yield from queue.write_g((slice(0, 1), slice(None)),
+                                 [[0, params.nkeys]])
+        yield from meta.write_g(slice(0, 2), [1, 1])  # qtop=1, outstanding=1
+    yield from tmk.barrier_g(0)
     if tmk.pid == 0:
         proc.cluster.start_measurement(proc)
     while True:
-        tmk.lock_acquire(_LOCK_QUEUE)
-        qtop, outstanding = (int(v) for v in meta.read(slice(0, 2)))
+        yield from tmk.lock_acquire_g(_LOCK_QUEUE)
+        counters = yield from meta.read_g(slice(0, 2))
+        qtop, outstanding = (int(v) for v in counters)
         if outstanding == 0:
-            tmk.lock_release(_LOCK_QUEUE)
+            yield from tmk.lock_release_g(_LOCK_QUEUE)
             break
         if qtop == 0:
-            tmk.lock_release(_LOCK_QUEUE)
+            yield from tmk.lock_release_g(_LOCK_QUEUE)
             proc.compute(POLL_BACKOFF)
             continue
-        lo, hi = (int(v) for v in queue.read((slice(qtop - 1, qtop),
-                                              slice(None))).reshape(-1))
-        meta.set(0, qtop - 1)
-        tmk.lock_release(_LOCK_QUEUE)
+        task = yield from queue.read_g((slice(qtop - 1, qtop), slice(None)))
+        lo, hi = (int(v) for v in task.reshape(-1))
+        yield from meta.set_g(0, qtop - 1)
+        yield from tmk.lock_release_g(_LOCK_QUEUE)
 
         k = hi - lo
         if k <= params.threshold:
-            values = arr.read(slice(lo, hi)).copy()
-            arr.write(slice(lo, hi), np.sort(values, kind="stable"))
+            values = yield from arr.read_g(slice(lo, hi))
+            values = values.copy()
+            yield from arr.write_g(slice(lo, hi), np.sort(values, kind="stable"))
             proc.compute(bubble_cost(k))
-            tmk.lock_acquire(_LOCK_QUEUE)
-            meta.set(1, int(meta.get(1)) - 1)
-            tmk.lock_release(_LOCK_QUEUE)
+            yield from tmk.lock_acquire_g(_LOCK_QUEUE)
+            left = yield from meta.get_g(1)
+            yield from meta.set_g(1, int(left) - 1)
+            yield from tmk.lock_release_g(_LOCK_QUEUE)
         else:
-            values = arr.read(slice(lo, hi)).copy()
+            values = yield from arr.read_g(slice(lo, hi))
+            values = values.copy()
             rearranged, eq_lo, eq_hi = partition(values)
-            arr.write(slice(lo, hi), rearranged)
+            yield from arr.write_g(slice(lo, hi), rearranged)
             proc.compute(partition_cost(k))
-            tmk.lock_acquire(_LOCK_QUEUE)
-            qtop = int(meta.get(0))
+            yield from tmk.lock_acquire_g(_LOCK_QUEUE)
+            qtop = yield from meta.get_g(0)
+            qtop = int(qtop)
             if qtop + 2 > MAX_QUEUE:
                 raise RuntimeError("work queue overflow")
-            queue.write((slice(qtop, qtop + 2), slice(None)),
-                        [[lo, lo + eq_lo], [lo + eq_hi, hi]])
-            meta.write(slice(0, 2), [qtop + 2, int(meta.get(1)) + 1])
-            tmk.lock_release(_LOCK_QUEUE)
-    tmk.barrier(1)
+            yield from queue.write_g((slice(qtop, qtop + 2), slice(None)),
+                                     [[lo, lo + eq_lo], [lo + eq_hi, hi]])
+            left = yield from meta.get_g(1)
+            yield from meta.write_g(slice(0, 2), [qtop + 2, int(left) + 1])
+            yield from tmk.lock_release_g(_LOCK_QUEUE)
+    yield from tmk.barrier_g(1)
     # Out-of-band result collection: each processor's copy of the pages it
     # holds valid is not the full array, so only processor 0 re-reads it.
     if tmk.pid == 0:
         proc.cluster.stop_measurement(proc)
-        return arr.read(slice(0, params.nkeys)).copy()
+        out = yield from arr.read_g(slice(0, params.nkeys))
+        return out.copy()
     return None
 
 
@@ -185,7 +193,7 @@ _TAG_SPLIT = 33
 _TAG_DONE = 34
 
 
-def _master(proc, params: QsortParams) -> np.ndarray:
+def _master(proc, params: QsortParams):
     pvm = proc.pvm
     n = pvm.nprocs
     arr = initial_keys(params)
@@ -208,18 +216,18 @@ def _master(proc, params: QsortParams) -> np.ndarray:
             queue.append((lo + int(split[1]), hi))
             outstanding += 1
 
-    def send_work(slave: int) -> None:
+    def send_work(slave: int):
         lo, hi = queue.pop()
         buf = pvm.initsend()
         buf.pkint([lo, hi])
         buf.pkint(arr[lo:hi])
-        pvm.send(slave, _TAG_WORK, buf)
+        yield from pvm.send_g(slave, _TAG_WORK, buf)
 
-    def poll() -> None:
+    def poll():
         """Drain arrivals and serve waiting slaves (the master half of the
         time-shared master+slave pair on this processor)."""
         while True:
-            buf = pvm.nrecv(-1, -1)
+            buf = yield from pvm.nrecv_g(-1, -1)
             if buf is None:
                 break
             if buf.tag == _TAG_REQ:
@@ -228,18 +236,18 @@ def _master(proc, params: QsortParams) -> np.ndarray:
             else:
                 integrate(buf)
         while pending and queue and outstanding > 0:
-            send_work(pending.pop(0))
+            yield from send_work(pending.pop(0))
 
     while outstanding > 0 or done_sent < n - 1:
-        poll()
+        yield from poll()
         if outstanding == 0:
             while pending:
                 buf = pvm.initsend()
                 buf.pkint([0])
-                pvm.send(pending.pop(0), _TAG_DONE, buf)
+                yield from pvm.send_g(pending.pop(0), _TAG_DONE, buf)
                 done_sent += 1
             if done_sent < n - 1:
-                buf = pvm.recv(-1, _TAG_REQ)
+                buf = yield from pvm.recv_g(-1, _TAG_REQ)
                 buf.upkint(1)
                 pending.append(buf.src)
             continue
@@ -250,18 +258,18 @@ def _master(proc, params: QsortParams) -> np.ndarray:
             k = hi - lo
             if k <= params.threshold:
                 arr[lo:hi] = np.sort(arr[lo:hi], kind="stable")
-                compute_polled(proc, bubble_cost(k), poll)
+                yield from compute_polled(proc, bubble_cost(k), poll)
                 outstanding -= 1
             else:
                 rearranged, eq_lo, eq_hi = partition(arr[lo:hi])
                 arr[lo:hi] = rearranged
-                compute_polled(proc, partition_cost(k), poll)
+                yield from compute_polled(proc, partition_cost(k), poll)
                 queue.append((lo, lo + eq_lo))
                 queue.append((lo + eq_hi, hi))
                 outstanding += 1
         elif not queue:
             # Work is all in flight; block for the next result.
-            buf = pvm.recv(-1, -1)
+            buf = yield from pvm.recv_g(-1, -1)
             if buf.tag == _TAG_REQ:
                 buf.upkint(1)
                 pending.append(buf.src)
@@ -270,13 +278,13 @@ def _master(proc, params: QsortParams) -> np.ndarray:
     return arr
 
 
-def _slave(proc, params: QsortParams) -> None:
+def _slave(proc, params: QsortParams):
     pvm = proc.pvm
     while True:
         buf = pvm.initsend()
         buf.pkint([pvm.mytid])
-        pvm.send(0, _TAG_REQ, buf)
-        reply = pvm.recv(0, -1)
+        yield from pvm.send_g(0, _TAG_REQ, buf)
+        reply = yield from pvm.recv_g(0, -1)
         if reply.tag == _TAG_DONE:
             reply.upkint(1)
             return
@@ -290,21 +298,22 @@ def _slave(proc, params: QsortParams) -> None:
             values = np.sort(values, kind="stable")
             proc.compute(bubble_cost(k))
             out.pkint(values)
-            pvm.send(0, _TAG_LEAF, out)
+            yield from pvm.send_g(0, _TAG_LEAF, out)
         else:
             rearranged, eq_lo, eq_hi = partition(values)
             proc.compute(partition_cost(k))
             out.pkint([eq_lo, eq_hi])
             out.pkint(rearranged)
-            pvm.send(0, _TAG_SPLIT, out)
+            yield from pvm.send_g(0, _TAG_SPLIT, out)
 
 
 def pvm_main(proc, params: QsortParams):
     pvm = proc.pvm
     if pvm.mytid == 0:
         proc.cluster.start_measurement(proc)
-        return _master(proc, params)
-    _slave(proc, params)
+        result = yield from _master(proc, params)
+        return result
+    yield from _slave(proc, params)
     return None
 
 

@@ -171,7 +171,8 @@ def run_cached(exp_id: str, system: str, nprocs: int,
                obs: Optional[ObsConfig] = None,
                cost: Optional[CostModel] = None,
                replication: Optional[ReplicationConfig] = None,
-               invariants: bool = False) -> base.ParallelResult:
+               invariants: bool = False,
+               engine: str = "threads") -> base.ParallelResult:
     """One parallel run, memoized in-process, with its result verified
     against the sequential version (every bench run is also a correctness
     check -- including lossy and crash/recovery runs, whose results must
@@ -187,7 +188,7 @@ def run_cached(exp_id: str, system: str, nprocs: int,
     if obs is not None and not obs.enabled:
         obs = None
     key = (exp_id, preset, system, nprocs, faults, analysis, recovery, obs,
-           cost, replication, invariants)
+           cost, replication, invariants, engine)
     if key not in _PAR_CACHE:
         exp = EXPERIMENTS[exp_id]
         result = base.run_parallel(exp.app, system, nprocs,
@@ -195,7 +196,7 @@ def run_cached(exp_id: str, system: str, nprocs: int,
                                    faults=faults,
                                    analysis=analysis, recovery=recovery,
                                    obs=obs, replication=replication,
-                                   invariants=invariants)
+                                   invariants=invariants, engine=engine)
         seq = _seq(exp_id, preset)
         spec = base.get_app(exp.app)
         if not spec.verify(result.result, seq.result):

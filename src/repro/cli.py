@@ -93,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="attach the runtime protocol-invariant monitors "
                           "(repro.verify): a broken coherence rule aborts "
                           "the run with the violated rule and both events")
+    run.add_argument("--engine", choices=("threads", "coro"),
+                     default="threads",
+                     help="execution backend: 'threads' (one host thread "
+                          "per simulated processor) or 'coro' (cooperative "
+                          "continuations; byte-identical results, scales "
+                          "to 1024 nodes)")
     add_fault_flags(run)
 
     verify = sub.add_parser(
@@ -290,7 +296,7 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
             false_sharing: bool = False,
             checkpoint_every: float = 0.0,
             ft_mode: str = "rollback", replicas: int = 3,
-            invariants: bool = False) -> str:
+            invariants: bool = False, engine: str = "threads") -> str:
     from repro import api
     from repro.bench import harness
     from repro.bench.analysis import decompose, render_breakdown
@@ -341,7 +347,8 @@ def cmd_run(experiment: str, system: str, nprocs: int, preset: str,
     config = api.RunConfig(experiment=experiment, system=system,
                            nprocs=nprocs, preset=preset, faults=faults,
                            analysis=analysis, recovery=recovery,
-                           replication=replication, invariants=invariants)
+                           replication=replication, invariants=invariants,
+                           engine=engine)
     try:
         # want_parallel: the report below needs the live run (stats
         # buckets, sanitizer, mechanism breakdown), not just the summary.
@@ -629,7 +636,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                       false_sharing=args.false_sharing_report,
                       checkpoint_every=args.checkpoint_interval,
                       ft_mode=args.ft_mode, replicas=args.replicas,
-                      invariants=args.invariants))
+                      invariants=args.invariants, engine=args.engine))
     elif args.command == "verify":
         print(cmd_verify(args.experiment, system=args.system,
                          nprocs=args.nprocs, preset=args.preset,

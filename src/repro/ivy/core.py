@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.sim.engine import YIELD
 from repro.sim.network import Delivery, UdpChannel
 from repro.tmk.pages import PageTable
 
@@ -110,18 +111,30 @@ class IvyCore:
     # Application-facing access checks (same interface SharedArray uses)
     # ------------------------------------------------------------------
     def ensure_valid_range(self, start: int, nbytes: int) -> None:
-        self.ensure_valid_runs([(start, nbytes)])
+        self.proc.drive(self.ensure_valid_range_g(start, nbytes))
 
     def ensure_writable_range(self, start: int, nbytes: int) -> None:
-        self.ensure_writable_runs([(start, nbytes)])
+        self.proc.drive(self.ensure_writable_range_g(start, nbytes))
 
     def ensure_valid_runs(self, runs) -> None:
-        self._ensure(runs, want_write=False)
+        self.proc.drive(self._ensure_g(runs, want_write=False))
 
     def ensure_writable_runs(self, runs) -> None:
-        self._ensure(runs, want_write=True)
+        self.proc.drive(self._ensure_g(runs, want_write=True))
 
-    def _ensure(self, runs, want_write: bool) -> None:
+    def ensure_valid_range_g(self, start: int, nbytes: int):
+        yield from self._ensure_g([(start, nbytes)], want_write=False)
+
+    def ensure_writable_range_g(self, start: int, nbytes: int):
+        yield from self._ensure_g([(start, nbytes)], want_write=True)
+
+    def ensure_valid_runs_g(self, runs):
+        yield from self._ensure_g(runs, want_write=False)
+
+    def ensure_writable_runs_g(self, runs):
+        yield from self._ensure_g(runs, want_write=True)
+
+    def _ensure_g(self, runs, want_write: bool):
         """Acquire every page the access touches, atomically.
 
         While a fault for one page blocks, an already-acquired page of
@@ -138,7 +151,7 @@ class IvyCore:
             clean = True
             for page in pages:
                 if self.state[page] < floor:
-                    self._fault(page, want_write=want_write)
+                    yield from self._fault_g(page, want_write=want_write)
                     clean = False
             if clean:
                 return
@@ -149,9 +162,9 @@ class IvyCore:
     # ------------------------------------------------------------------
     # Faulting side
     # ------------------------------------------------------------------
-    def _fault(self, page: int, want_write: bool) -> None:
+    def _fault_g(self, page: int, want_write: bool):
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         if want_write:
             self.write_faults += 1
         else:
@@ -169,7 +182,7 @@ class IvyCore:
             t = self.udp.send(self.pid, manager, CAT_REQUEST, request,
                               _REQ_BYTES, t_ready=proc.now)
             proc.set_now(t)
-        payload = box.wait(f"ivy page {page}")
+        payload = yield from box.wait_g(f"ivy page {page}")
         data, granted_write = payload
         if data is not None:
             view = self.pt.page_view(page)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.sim.engine import Block, YIELD
 from repro.sim.network import Delivery
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,8 +67,12 @@ class IvyLocks:
         return state
 
     def acquire(self, lock: int) -> None:
+        return self.proc.drive(self.acquire_g(lock))
+
+    def acquire_g(self, lock: int):
+        """Generator form of :meth:`acquire` (coro-backend convention)."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         state = self._lock_state(lock)
         if state.holding:
             raise RuntimeError(f"P{self.pid}: recursive acquire of {lock}")
@@ -87,15 +92,19 @@ class IvyLocks:
             t = self.core.udp.send(self.pid, manager, CAT_LOCK_REQ, request,
                                    _SYNC_BYTES, t_ready=proc.now)
             proc.set_now(t)
-        box.wait(f"ivy lock {lock}")
+        yield from box.wait_g(f"ivy lock {lock}")
         self.wait_time += proc.now - t0
         state.awaiting = False
         state.owns = True
         state.holding = True
 
     def release(self, lock: int) -> None:
+        return self.proc.drive(self.release_g(lock))
+
+    def release_g(self, lock: int):
+        """Generator form of :meth:`release` (coro-backend convention)."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         state = self._lock_state(lock)
         if not state.holding:
             raise RuntimeError(f"P{self.pid}: release of unheld lock {lock}")
@@ -170,8 +179,12 @@ class IvyBarrier:
         proc.register(CAT_BAR_DEPART, self._on_departure)
 
     def barrier(self, bid: int) -> None:
+        return self.proc.drive(self.barrier_g(bid))
+
+    def barrier_g(self, bid: int):
+        """Generator form of :meth:`barrier` (coro-backend convention)."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         proc.compute(_LOCAL_CPU)
         if self.nprocs == 1:
             return
@@ -186,8 +199,8 @@ class IvyBarrier:
                                        [t for _, t in arrivals]))
             else:
                 self._manager_blocked[bid] = True
-                proc.block(f"ivy barrier {bid}",
-                           waiting_on="remaining barrier arrivals")
+                yield Block(f"ivy barrier {bid}",
+                            "remaining barrier arrivals")
                 self._manager_blocked[bid] = False
         else:
             t = self.core.udp.send(self.pid, self.manager, CAT_BAR_ARRIVE,
@@ -195,8 +208,8 @@ class IvyBarrier:
                                    t_ready=proc.now)
             proc.set_now(t)
             self._waiting = True
-            proc.block(f"ivy barrier {bid}",
-                       waiting_on=f"P{self.manager} (barrier manager)")
+            yield Block(f"ivy barrier {bid}",
+                        f"P{self.manager} (barrier manager)")
             self._waiting = False
         self.wait_time += proc.now - t0
         if monitor is not None:

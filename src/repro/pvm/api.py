@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 from repro.obs.core import B_PROTOCOL, B_STALL_DATA, B_WIRE
 from repro.pvm.buffers import DataFormat, ReceiveBuffer, SendBuffer
 from repro.pvm.daemon import DaemonNetwork
+from repro.sim.engine import Block, YIELD
 from repro.sim.network import Delivery, TcpChannel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,29 +96,43 @@ class Pvm:
 
     def send(self, dest: int, tag: int, buf: SendBuffer) -> None:
         """Dispatch ``buf`` to ``dest`` (non-blocking, pvm_send)."""
-        self._send_frozen(dest, tag, buf._freeze(), buf.fmt, buf.nbytes,
-                          buf.nitems)
+        return self.proc.drive(self.send_g(dest, tag, buf))
+
+    def send_g(self, dest: int, tag: int, buf: SendBuffer):
+        """Generator form of :meth:`send` (coro-backend convention)."""
+        yield from self._send_frozen_g(dest, tag, buf._freeze(), buf.fmt,
+                                       buf.nbytes, buf.nitems)
 
     def mcast(self, dests: Sequence[int], tag: int, buf: SendBuffer) -> None:
         """Send to several destinations (pvm_mcast): one message each."""
+        return self.proc.drive(self.mcast_g(dests, tag, buf))
+
+    def mcast_g(self, dests: Sequence[int], tag: int, buf: SendBuffer):
+        """Generator form of :meth:`mcast`."""
         segments = buf._freeze()
         nbytes, nitems = buf.nbytes, buf.nitems
         for dest in dests:
-            self._send_frozen(dest, tag, segments, buf.fmt, nbytes, nitems)
+            yield from self._send_frozen_g(dest, tag, segments, buf.fmt,
+                                           nbytes, nitems)
 
     def bcast(self, tag: int, buf: SendBuffer) -> None:
         """Send to every *other* processor."""
         self.mcast([p for p in range(self.nprocs) if p != self.mytid], tag, buf)
 
-    def _send_frozen(self, dest: int, tag: int, segments, fmt: DataFormat,
-                     nbytes: int, nitems: int) -> None:
+    def bcast_g(self, tag: int, buf: SendBuffer):
+        """Generator form of :meth:`bcast`."""
+        yield from self.mcast_g(
+            [p for p in range(self.nprocs) if p != self.mytid], tag, buf)
+
+    def _send_frozen_g(self, dest: int, tag: int, segments, fmt: DataFormat,
+                       nbytes: int, nitems: int):
         if not (0 <= dest < self.nprocs):
             raise PvmError(f"bad destination tid {dest}")
         if dest == self.mytid:
             raise PvmError("PVM send to self is not used by these programs")
         proc = self.proc
         cost = proc.cluster.cost
-        proc.yield_point()
+        yield YIELD
         obs = proc.obs
         # Packing cost: one copy of the user data plus per-item overhead,
         # tripled per byte if XDR conversion is enabled.
@@ -180,8 +195,12 @@ class Pvm:
 
     def recv(self, src: int = -1, tag: int = -1) -> ReceiveBuffer:
         """Blocking receive (pvm_recv); wildcards with ``-1``."""
+        return self.proc.drive(self.recv_g(src, tag))
+
+    def recv_g(self, src: int = -1, tag: int = -1):
+        """Generator form of :meth:`recv` (coro-backend convention)."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         obs = proc.obs
         if obs is not None:
             # PVM's sync-vs-data ambiguity in one span: whether this wait
@@ -191,8 +210,8 @@ class Pvm:
         msg = self._take(src, tag)
         while msg is None:
             self._wait_spec = (src, tag)
-            proc.block(f"pvm_recv(src={src}, tag={tag})",
-                       waiting_on=("any sender" if src == -1 else f"P{src}"))
+            yield Block(f"pvm_recv(src={src}, tag={tag})",
+                        ("any sender" if src == -1 else f"P{src}"))
             msg = self._take(src, tag)
         buf = self._consume(msg)
         if obs is not None:
@@ -201,8 +220,12 @@ class Pvm:
 
     def nrecv(self, src: int = -1, tag: int = -1) -> Optional[ReceiveBuffer]:
         """Non-blocking receive (pvm_nrecv): ``None`` if nothing matched."""
+        return self.proc.drive(self.nrecv_g(src, tag))
+
+    def nrecv_g(self, src: int = -1, tag: int = -1):
+        """Generator form of :meth:`nrecv`."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         msg = self._take(src, tag)
         if msg is None:
             return None
@@ -210,7 +233,11 @@ class Pvm:
 
     def probe(self, src: int = -1, tag: int = -1) -> bool:
         """True if a matching message has arrived (pvm_probe)."""
-        self.proc.yield_point()
+        return self.proc.drive(self.probe_g(src, tag))
+
+    def probe_g(self, src: int = -1, tag: int = -1):
+        """Generator form of :meth:`probe`."""
+        yield YIELD
         return any(self._matches(m, src, tag) for m in self._inbox)
 
     def _consume(self, msg: _Arrived) -> ReceiveBuffer:

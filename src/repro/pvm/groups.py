@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.sim.engine import Block, YIELD
 from repro.sim.network import Delivery, TcpChannel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -80,21 +81,25 @@ class PvmGroups:
         return 0
 
     def _rpc(self, op: str, *args):
+        return self.proc.drive(self._rpc_g(op, *args))
+
+    def _rpc_g(self, op: str, *args):
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         box = proc.mailbox()
         if proc.pid == self._server:
             # Local call into the server, charged a small CPU cost.
             proc.compute(20e-6)
             reply = self._handle(op, proc.pid, *args)
             if reply is _DEFERRED:
-                return box_wait_deferred(self, box, op, args)
+                reply = yield from box.wait_g(f"deferred {op}")
             return reply
         t = self._tcp.send(proc.pid, self._server, _CAT_REQUEST,
                            (box, op, proc.pid, args), _CONTROL_BYTES,
                            t_ready=proc.now)
         proc.set_now(t)
-        return box.wait(f"group server reply to {op}")
+        result = yield from box.wait_g(f"group server reply to {op}")
+        return result
 
     def _serve(self, delivery: Delivery) -> None:
         box, op, pid, args = delivery.payload
@@ -172,16 +177,29 @@ class PvmGroups:
     # ------------------------------------------------------------------
     def joingroup(self, name: str) -> int:
         """Join ``name``; returns this task's instance number."""
-        inst = self._rpc("join", name)
+        return self.proc.drive(self.joingroup_g(name))
+
+    def joingroup_g(self, name: str):
+        """Generator form of :meth:`joingroup` (coro-backend convention)."""
+        inst = yield from self._rpc_g("join", name)
         self._instances[name] = inst
         return inst
 
     def lvgroup(self, name: str) -> None:
-        self._rpc("leave", name)
+        return self.proc.drive(self.lvgroup_g(name))
+
+    def lvgroup_g(self, name: str):
+        """Generator form of :meth:`lvgroup`."""
+        yield from self._rpc_g("leave", name)
         self._instances.pop(name, None)
 
     def gsize(self, name: str) -> int:
-        return self._rpc("size", name)
+        return self.proc.drive(self.gsize_g(name))
+
+    def gsize_g(self, name: str):
+        """Generator form of :meth:`gsize`."""
+        size = yield from self._rpc_g("size", name)
+        return size
 
     def getinst(self, name: str) -> int:
         if name not in self._instances:
@@ -189,32 +207,41 @@ class PvmGroups:
         return self._instances[name]
 
     def members(self, name: str) -> tuple:
-        return self._rpc("members", name)
+        return self.proc.drive(self.members_g(name))
+
+    def members_g(self, name: str):
+        """Generator form of :meth:`members`."""
+        out = yield from self._rpc_g("members", name)
+        return out
 
     def barrier(self, name: str, count: int) -> None:
         """Block until ``count`` members of ``name`` have called barrier."""
+        return self.proc.drive(self.barrier_g(name, count))
+
+    def barrier_g(self, name: str, count: int):
+        """Generator form of :meth:`barrier` (coro-backend convention)."""
         if name not in self._instances:
             raise GroupError(f"barrier on {name!r} before joingroup")
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         box = proc.mailbox()
         if proc.pid == self._server:
             proc.compute(20e-6)
             result = self._handle("barrier", proc.pid, name, count,
                                   reply_to=(box, proc.now))
             if result is _DEFERRED:
-                box.wait(f"group barrier {name!r}")
+                yield from box.wait_g(f"group barrier {name!r}")
             return
         t = self._tcp.send(proc.pid, self._server, _CAT_REQUEST,
                            (box, "barrier", proc.pid, (name, count)),
                            _CONTROL_BYTES, t_ready=proc.now)
         proc.set_now(t)
-        box.wait(f"group barrier {name!r}")
+        yield from box.wait_g(f"group barrier {name!r}")
 
     # -- data-plane collectives ------------------------------------------
-    def _send_data(self, dst: int, payload, nbytes: int) -> None:
+    def _send_data_g(self, dst: int, payload, nbytes: int):
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         t = self._tcp.send(proc.pid, dst, _CAT_DATA, payload, nbytes,
                            t_ready=proc.now)
         proc.set_now(t)
@@ -225,12 +252,12 @@ class PvmGroups:
             self._data_waiting = False
             self.proc.unblock(delivery.arrival + delivery.recv_cpu)
 
-    def _recv_data(self):
+    def _recv_data_g(self):
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         while not self._data_queue:
             self._data_waiting = True
-            proc.block("group data")
+            yield Block("group data", None)
         delivery = self._data_queue.pop(0)
         if delivery.arrival > proc.now:
             proc.set_now(delivery.arrival)
@@ -243,49 +270,68 @@ class PvmGroups:
 
         Returns the combined array at the root, ``None`` elsewhere.
         """
+        return self.proc.drive(self.reduce_g(name, values, op, root_instance))
+
+    def reduce_g(self, name: str, values, op: str = "sum",
+                 root_instance: int = 0):
+        """Generator form of :meth:`reduce` (coro-backend convention)."""
         if op not in _REDUCERS:
             raise GroupError(f"unknown reduction {op!r}")
-        members = self.members(name)
+        members = yield from self.members_g(name)
         root = members[root_instance]
         values = np.asarray(values)
         if self.proc.pid == root:
             out = values.copy()
             for _ in range(len(members) - 1):
-                _, arr = self._recv_data()
+                _, arr = yield from self._recv_data_g()
                 out = _REDUCERS[op](out, arr)
             return out
-        self._send_data(root, (self.proc.pid, values.copy()), values.nbytes)
+        yield from self._send_data_g(root, (self.proc.pid, values.copy()),
+                                     values.nbytes)
         return None
 
     def gather(self, name: str, values,
                root_instance: int = 0) -> Optional[List[np.ndarray]]:
         """pvm_gather: concatenate members' arrays at the root, ordered
         by instance number."""
-        members = self.members(name)
+        return self.proc.drive(self.gather_g(name, values, root_instance))
+
+    def gather_g(self, name: str, values, root_instance: int = 0):
+        """Generator form of :meth:`gather`."""
+        members = yield from self.members_g(name)
         root = members[root_instance]
         values = np.asarray(values)
         if self.proc.pid == root:
             parts = {self.proc.pid: values.copy()}
             for _ in range(len(members) - 1):
-                pid, arr = self._recv_data()
+                pid, arr = yield from self._recv_data_g()
                 parts[pid] = arr
             return [parts[pid] for pid in members]
-        self._send_data(root, (self.proc.pid, values.copy()), values.nbytes)
+        yield from self._send_data_g(root, (self.proc.pid, values.copy()),
+                                     values.nbytes)
         return None
 
     def bcast(self, name: str, values) -> np.ndarray:
         """pvm_bcast from this member to the whole group; every member
         (including the sender) returns the array."""
-        members = self.members(name)
+        return self.proc.drive(self.bcast_g(name, values))
+
+    def bcast_g(self, name: str, values):
+        """Generator form of :meth:`bcast`."""
+        members = yield from self.members_g(name)
         values = np.asarray(values)
         for pid in members:
             if pid != self.proc.pid:
-                self._send_data(pid, (self.proc.pid, values.copy()),
-                                values.nbytes)
+                yield from self._send_data_g(
+                    pid, (self.proc.pid, values.copy()), values.nbytes)
         return values.copy()
 
     def recv_bcast(self) -> np.ndarray:
-        _, arr = self._recv_data()
+        return self.proc.drive(self.recv_bcast_g())
+
+    def recv_bcast_g(self):
+        """Generator form of :meth:`recv_bcast`."""
+        _, arr = yield from self._recv_data_g()
         return arr
 
 
@@ -294,10 +340,6 @@ class _Deferred:
 
 
 _DEFERRED = _Deferred()
-
-
-def box_wait_deferred(groups: PvmGroups, box, op, args):  # pragma: no cover
-    return box.wait(f"deferred {op}")
 
 
 def attach_groups(cluster: "Cluster") -> List[PvmGroups]:

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs.core import B_STALL_SYNC
+from repro.sim.engine import Block
 from repro.scabd.config import ReplicationConfig
 from repro.scabd.core import ScAbdCore, ScAbdReplica
 from repro.ivy.sync import IvyBarrier, IvyLocks
@@ -166,27 +167,39 @@ class ScAbd:
 
     # ------------------------------------------------------------------
     def barrier(self, bid: int) -> None:
+        return self.proc.drive(self.barrier_g(bid))
+
+    def barrier_g(self, bid: int):
+        """Generator form of :meth:`barrier` (coro-backend convention)."""
         proc = self.proc
         obs = proc.obs
         if obs is not None:
             obs.begin(proc.now, proc.pid, "barrier", B_STALL_SYNC,
                       f"bid={bid}")
-        self.barriers.barrier(bid)
+        yield from self.barriers.barrier_g(bid)
         if obs is not None:
             obs.end(proc.now, proc.pid)
 
     def lock_acquire(self, lock: int) -> None:
+        return self.proc.drive(self.lock_acquire_g(lock))
+
+    def lock_acquire_g(self, lock: int):
+        """Generator form of :meth:`lock_acquire`."""
         proc = self.proc
         obs = proc.obs
         if obs is not None:
             obs.begin(proc.now, proc.pid, "lock_acquire", B_STALL_SYNC,
                       f"lock={lock}")
-        self.locks.acquire(lock)
+        yield from self.locks.acquire_g(lock)
         if obs is not None:
             obs.end(proc.now, proc.pid)
 
     def lock_release(self, lock: int) -> None:
         self.locks.release(lock)
+
+    def lock_release_g(self, lock: int):
+        """Generator form of :meth:`lock_release`."""
+        yield from self.locks.release_g(lock)
 
     # ------------------------------------------------------------------
     def malloc(self, nbytes: int, align: int | None = None) -> int:
@@ -219,16 +232,16 @@ class ScAbd:
         return self.barriers.wait_time
 
 
-def _replica_main(proc: "Processor") -> None:
+def _replica_main(proc: "Processor"):
     """Main body of a page-replica server: park forever.
 
-    All replica work happens in message handlers; this daemon thread only
+    All replica work happens in message handlers; this generator body only
     exists so the processor has a clock to charge service time to.  The
-    engine retires it (via ``SimThread`` stop) once every application
-    thread has finished.
+    engine retires it once every application thread has finished (it works
+    identically on both backends: the bootstrap drives the generator).
     """
     while True:
-        proc.block("scabd replica idle")
+        yield Block("scabd replica idle", None)
 
 
 def attach_scabd(cluster: "Cluster", config: Optional[ScAbdConfig] = None,

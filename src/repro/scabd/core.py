@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.obs.core import B_REPLICATION
+from repro.sim.engine import YIELD
 from repro.sim.network import Delivery, UdpChannel
 from repro.tmk.pages import PageTable
 
@@ -172,18 +173,30 @@ class ScAbdCore:
     # Application-facing access checks (same interface SharedArray uses)
     # ------------------------------------------------------------------
     def ensure_valid_range(self, start: int, nbytes: int) -> None:
-        self.ensure_valid_runs([(start, nbytes)])
+        self.proc.drive(self.ensure_valid_range_g(start, nbytes))
 
     def ensure_writable_range(self, start: int, nbytes: int) -> None:
-        self.ensure_writable_runs([(start, nbytes)])
+        self.proc.drive(self.ensure_writable_range_g(start, nbytes))
 
     def ensure_valid_runs(self, runs) -> None:
-        self._ensure(runs, want_write=False)
+        self.proc.drive(self._ensure_g(runs, want_write=False))
 
     def ensure_writable_runs(self, runs) -> None:
-        self._ensure(runs, want_write=True)
+        self.proc.drive(self._ensure_g(runs, want_write=True))
 
-    def _ensure(self, runs, want_write: bool) -> None:
+    def ensure_valid_range_g(self, start: int, nbytes: int):
+        yield from self._ensure_g([(start, nbytes)], want_write=False)
+
+    def ensure_writable_range_g(self, start: int, nbytes: int):
+        yield from self._ensure_g([(start, nbytes)], want_write=True)
+
+    def ensure_valid_runs_g(self, runs):
+        yield from self._ensure_g(runs, want_write=False)
+
+    def ensure_writable_runs_g(self, runs):
+        yield from self._ensure_g(runs, want_write=True)
+
+    def _ensure_g(self, runs, want_write: bool):
         """Acquire every page the access touches, atomically (see
         :meth:`repro.ivy.core.IvyCore._ensure` for the retry rationale)."""
         floor = WRITE if want_write else READ
@@ -193,7 +206,7 @@ class ScAbdCore:
             clean = True
             for page in pages:
                 if self.state[page] < floor:
-                    self._fault(page, want_write=want_write)
+                    yield from self._fault_g(page, want_write=want_write)
                     clean = False
             if clean:
                 return
@@ -204,9 +217,9 @@ class ScAbdCore:
     # ------------------------------------------------------------------
     # Faulting side
     # ------------------------------------------------------------------
-    def _fault(self, page: int, want_write: bool) -> None:
+    def _fault_g(self, page: int, want_write: bool):
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         if want_write:
             self.write_faults += 1
         else:
@@ -224,11 +237,11 @@ class ScAbdCore:
             t = self.udp.send(self.pid, home, CAT_REQUEST, request,
                               _REQ_BYTES, t_ready=proc.now)
             proc.set_now(t)
-        granted_write, _tag = box.wait(f"scabd page {page}")
+        granted_write, _tag = yield from box.wait_g(f"scabd page {page}")
         if self.state[page] == INVALID:
             # No valid local copy: fetch the committed version from a
             # majority of the replica set.
-            tag, data = self._quorum_read(page)
+            tag, data = yield from self._quorum_read_g(page)
             view = self.pt.page_view(page)
             if data is not None:
                 view[:] = np.frombuffer(data, dtype=np.uint8)
@@ -249,7 +262,7 @@ class ScAbdCore:
         box, body = delivery.payload
         box.put(body, delivery.arrival + delivery.recv_cpu)
 
-    def _quorum_read(self, page: int) -> Tuple[int, Optional[bytes]]:
+    def _quorum_read_g(self, page: int):
         """Read the page from a majority of live replicas (blocks)."""
         proc = self.proc
         live = self.system.live_replicas()
@@ -270,7 +283,8 @@ class ScAbdCore:
                                    (page, self.pid, collector),
                                    _REQ_BYTES, t_ready=t)
         proc.set_now(t)
-        tag, data = collector.box.wait(f"scabd quorum read page {page}")
+        tag, data = yield from collector.box.wait_g(
+            f"scabd quorum read page {page}")
         if obs is not None:
             obs.end(proc.now, self.pid)
         return tag, data

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.core import Obs, ObsConfig
 from repro.sim.costmodel import CostModel
-from repro.sim.engine import Engine, SimThread
+from repro.sim.engine import Block, Engine, SimThread
 from repro.sim.faults import FaultPlan
 from repro.sim.network import Delivery, Network
 from repro.sim.recovery import RecoveryConfig, RecoveryManager
@@ -56,17 +56,21 @@ class Mailbox:
         if self._waiting:
             self.proc.unblock(time)
 
-    def wait(self, reason: str) -> Any:
-        """Block until filled; advances the caller's clock to arrival time."""
+    def wait_g(self, reason: str):
+        """Generator form of :meth:`wait` (coro-backend convention)."""
         if self._value is _EMPTY:
             self._waiting = True
-            self.proc.block(reason, waiting_on=self.waiting_on)
+            yield Block(reason, self.waiting_on)
             self._waiting = False
         if self._value is _EMPTY:
             raise RuntimeError(f"mailbox woken empty while waiting for {reason}")
         if self._time > self.proc.now:
             self.proc.set_now(self._time)
         return self._value
+
+    def wait(self, reason: str) -> Any:
+        """Block until filled; advances the caller's clock to arrival time."""
+        return self.proc.drive(self.wait_g(reason))
 
 
 class Processor:
@@ -127,6 +131,16 @@ class Processor:
     def block(self, reason: str, waiting_on: Optional[str] = None) -> float:
         assert self.thread is not None
         return self.thread.block(reason, waiting_on=waiting_on)
+
+    def drive(self, gen) -> Any:
+        """Run an effect-yielding generator to completion (thread backend).
+
+        Blocking wrapper APIs execute their single-source generator cores
+        through this; on the coro backend it raises, directing callers to
+        the ``yield from``-able ``*_g`` form instead.
+        """
+        assert self.thread is not None
+        return self.thread.drive(gen)
 
     def unblock(self, wake_time: float) -> None:
         assert self.thread is not None
@@ -225,6 +239,10 @@ class ClusterConfig:
     #: Tie-break strategy among equal-virtual-time ready threads (see
     #: ``repro.sim.engine.Scheduler``); None = historical lowest-tid pick.
     scheduler: Optional[Any] = None
+    #: Execution backend: ``"threads"`` (host thread per processor, the
+    #: historical default) or ``"coro"`` (generator continuations; scales
+    #: to thousands of processors).  Semantics are byte-identical.
+    engine: str = "threads"
 
 
 class Cluster:
@@ -258,7 +276,8 @@ class Cluster:
         self.trace = config.trace if config.trace is not None else Trace()
         self.faults = config.faults
         self.engine = Engine(watchdog_events=config.watchdog_events,
-                             scheduler=config.scheduler)
+                             scheduler=config.scheduler,
+                             backend=config.engine)
         self.stats = MessageStats()
         self.net = Network(self.engine, self.cost, self.stats,
                            faults=self.faults, trace=self.trace)

@@ -1,8 +1,7 @@
 """Deterministic virtual-time execution engine.
 
-The engine multiplexes *simulated processors* -- each backed by a real Python
-thread running ordinary application code -- onto a single host thread of
-execution.  Exactly one simulated thread runs at a time; whenever a thread
+The engine multiplexes *simulated processors* onto a single host thread of
+execution.  Exactly one simulated entity runs at a time; whenever it
 reaches a *yield point* (any runtime operation: page fault, lock, barrier,
 message send/receive) control returns to the scheduler, which always resumes
 the runnable entity with the smallest virtual time.  Because interaction
@@ -10,10 +9,30 @@ between processors happens only through posted events (message arrivals),
 this "smallest-time-first" policy yields bit-for-bit deterministic runs
 independent of host thread scheduling.
 
+Two *backends* implement the simulated processor:
+
+* ``backend="threads"`` -- each processor is a real Python thread
+  (:class:`SimThread`) running ordinary blocking application code, parked
+  and resumed through a pair of :class:`threading.Event` handshakes.  One
+  host thread per processor caps practical cluster sizes near the paper's
+  8 nodes.
+* ``backend="coro"`` -- each processor is a cheap *continuation*
+  (:class:`SimTask`): its body is a generator and every blocking runtime
+  operation is expressed as a yielded **effect** (:data:`YIELD` or
+  :class:`Block`) that a run-to-block trampoline inside the engine loop
+  interprets.  No host threads, no handshakes -- thousands of simulated
+  processors cost only their suspended generator frames.
+
+Both backends implement identical scheduling semantics -- virtual-clock
+tie-break order, the :class:`Scheduler` hook, watchdog/deadlock
+diagnostics, and kill/crash unwinding -- so a program produces
+byte-identical traces and results on either (asserted by
+``tests/sim/test_engine_equivalence.py``).
+
 Two kinds of schedulable entities exist:
 
-* **threads** -- simulated processors, each with its own virtual ``clock``
-  that advances when the processor performs local computation
+* **threads/tasks** -- simulated processors, each with its own virtual
+  ``clock`` that advances when the processor performs local computation
   (:meth:`SimThread.advance`) or blocks waiting for an event;
 * **events** -- ``(time, callback)`` pairs posted by the network layer to
   model message arrival.  Event callbacks run in the scheduler's host thread
@@ -31,10 +50,11 @@ from __future__ import annotations
 
 import heapq
 import threading
-from typing import Any, Callable, Optional
+from types import GeneratorType
+from typing import Any, Callable, Generator, Optional
 
-__all__ = ["Engine", "EngineDeadlock", "Scheduler", "SimAborted", "SimThread",
-           "ThreadKilled"]
+__all__ = ["Block", "Engine", "EngineDeadlock", "Scheduler", "SimAborted",
+           "SimTask", "SimThread", "ThreadKilled", "YIELD"]
 
 
 class EngineDeadlock(RuntimeError):
@@ -71,6 +91,49 @@ _BLOCKED = "blocked"
 _DONE = "done"
 
 
+# ----------------------------------------------------------------------
+# Effects: the vocabulary a continuation yields to the trampoline
+# ----------------------------------------------------------------------
+class _YieldEffect:
+    """Singleton sentinel: the :data:`YIELD` effect."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "YIELD"
+
+
+#: Effect: give every causally-earlier event/thread a chance to run, then
+#: resume.  The generator equivalent of :meth:`SimThread.yield_point` --
+#: runtime code written in generator form does ``yield YIELD``.
+YIELD = _YieldEffect()
+
+
+class Block:
+    """Effect: suspend until another entity calls :meth:`Engine.unblock`.
+
+    The generator equivalent of :meth:`SimThread.block`: runtime code in
+    generator form does ``wake = yield Block(reason, waiting_on)`` and
+    receives the wake-up virtual time (the clock has already been advanced
+    to ``max(clock, wake_time)``), exactly like the blocking call.
+    """
+
+    __slots__ = ("reason", "waiting_on")
+
+    def __init__(self, reason: str, waiting_on: Optional[str] = None) -> None:
+        self.reason = reason
+        self.waiting_on = waiting_on
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Block({self.reason!r}, waiting_on={self.waiting_on!r})"
+
+
+# How a parked SimTask re-enters its generator at the next dispatch.
+_RESUME_START = 0   # first dispatch: create the generator, send(None)
+_RESUME_YIELD = 1   # parked at a YIELD effect
+_RESUME_BLOCK = 2   # parked at a Block effect
+
+
 class Scheduler:
     """Pluggable tie-break policy among equal-virtual-time ready threads.
 
@@ -84,7 +147,8 @@ class Scheduler:
     The default ``Engine(scheduler=None)`` fast path never consults a
     scheduler and reproduces the historical (clock, tid) policy exactly.
     ``repro.verify.schedule`` builds replayable and randomized strategies
-    on top of this hook to explore the schedule space.
+    on top of this hook to explore the schedule space.  The hook sees the
+    same tie sets on both engine backends.
     """
 
     def pick(self, ready: "list[SimThread]") -> "SimThread":
@@ -93,11 +157,16 @@ class Scheduler:
 
 
 class SimThread:
-    """A simulated processor's execution context.
+    """A simulated processor's execution context (thread backend).
 
     Wraps a host :class:`threading.Thread` plus a virtual clock.  All
     scheduling handshakes go through :class:`Engine`; application code should
     only ever touch :attr:`clock` indirectly via the runtime layers.
+
+    Bodies may be plain blocking functions or generator functions yielding
+    :data:`YIELD`/:class:`Block` effects; a generator body is driven by
+    :meth:`drive`, which maps each effect back onto the blocking
+    primitives, so both styles produce identical schedules.
     """
 
     __slots__ = (
@@ -154,7 +223,13 @@ class SimThread:
         try:
             if self.engine._aborting:
                 raise SimAborted()
-            self.result = self._fn()
+            result = self._fn()
+            if isinstance(result, GeneratorType):
+                # Generator-convention body (the coro backend's native
+                # form): drive it against the blocking primitives so both
+                # backends execute the same effect sequence.
+                result = self.drive(result)
+            self.result = result
         except SimAborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - report any failure
@@ -228,6 +303,38 @@ class SimThread:
             self.clock = self._wake_time
         return self.clock
 
+    def drive(self, gen: Generator) -> Any:
+        """Run an effect-yielding generator to completion, blocking in this
+        host thread at each effect.
+
+        This is how blocking wrapper APIs (``tmk.barrier``, ``pvm.recv``,
+        ``SharedArray.read``) execute their generator-form cores on the
+        thread backend, and how a generator-convention application body
+        runs: each :data:`YIELD` maps to :meth:`yield_point`, each
+        :class:`Block` to :meth:`block`.  Exceptions raised by the
+        primitives (:class:`ThreadKilled`, :class:`SimAborted`) are thrown
+        *into* the generator so its ``finally`` blocks unwind.
+        """
+        try:
+            effect = gen.send(None)
+            while True:
+                try:
+                    if effect is YIELD:
+                        self.yield_point()
+                        value = None
+                    elif type(effect) is Block:
+                        value = self.block(effect.reason, effect.waiting_on)
+                    else:
+                        raise RuntimeError(
+                            f"{self.name}: unknown effect {effect!r} "
+                            "yielded to the engine")
+                except BaseException as exc:  # noqa: BLE001 - re-thrown
+                    effect = gen.throw(exc)
+                else:
+                    effect = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+
     @property
     def done(self) -> bool:
         """True once this thread has run (or been unwound) to completion."""
@@ -243,12 +350,135 @@ class SimThread:
                 f"clock={self.clock:.6f} reason={self.block_reason!r}>")
 
 
+class SimTask:
+    """A simulated processor's execution context (coro backend).
+
+    A cheap continuation: the body is a generator function whose generator
+    is stepped by the engine's trampoline; each yielded effect parks the
+    task (READY after :data:`YIELD`, BLOCKED after :class:`Block`) with no
+    host thread underneath.  The public surface mirrors
+    :class:`SimThread` -- ``tid``/``name``/``clock``/``state``/
+    ``block_reason``/``waiting_on``/``result``/``exception``/``daemon``/
+    ``advance``/``done``/``killed`` -- so schedulers, recovery, the
+    observability layers, and diagnostics treat both backends uniformly.
+    """
+
+    __slots__ = (
+        "engine",
+        "tid",
+        "name",
+        "clock",
+        "state",
+        "block_reason",
+        "waiting_on",
+        "_fn",
+        "_gen",
+        "_resume",
+        "result",
+        "exception",
+        "_wake_time",
+        "_killed",
+        "daemon",
+        "_stop",
+    )
+
+    def __init__(self, engine: "Engine", tid: int, name: str, clock: float,
+                 fn: Callable[[], Any], daemon: bool = False):
+        self.engine = engine
+        self.tid = tid
+        self.name = name
+        self.clock = clock
+        self.state = _NEW
+        self.block_reason: Optional[str] = None
+        self.waiting_on: Optional[str] = None
+        self._fn = fn
+        self._gen: Optional[Generator] = None
+        self._resume = _RESUME_START
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._wake_time: float = clock
+        self._killed = False
+        self.daemon = daemon
+        self._stop = False
+
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> None:
+        """Charge ``dt`` virtual seconds of local computation."""
+        if dt < 0:
+            raise ValueError(f"negative time advance: {dt!r}")
+        self.clock += dt
+
+    def yield_point(self) -> None:
+        raise RuntimeError(
+            f"{self.name}: blocking yield_point() on the coro backend -- "
+            "continuation bodies must use the generator convention "
+            "('yield YIELD' / the runtime's *_g form via 'yield from')")
+
+    def block(self, reason: str, waiting_on: Optional[str] = None) -> float:
+        raise RuntimeError(
+            f"{self.name}: blocking block({reason!r}) on the coro backend -- "
+            "continuation bodies must use the generator convention "
+            "('yield Block(...)' / the runtime's *_g form via 'yield from')")
+
+    def drive(self, gen: Generator) -> Any:
+        gen.close()
+        raise RuntimeError(
+            f"{self.name}: blocking runtime call on the coro backend -- "
+            "use the generator form (*_g) via 'yield from' instead")
+
+    @property
+    def done(self) -> bool:
+        """True once this task has run (or been unwound) to completion."""
+        return self.state == _DONE
+
+    @property
+    def killed(self) -> bool:
+        """True if this task was (or is being) killed by a node crash."""
+        return self._killed
+
+    def frame_description(self) -> Optional[str]:
+        """Name the innermost suspended frame of the continuation.
+
+        Follows the ``yield from`` delegation chain to the frame that
+        actually yielded the current effect, e.g.
+        ``"barrier_g (barrier.py:154)"`` -- the coro backend's answer to
+        "where is this processor parked?" in deadlock dumps.
+        """
+        gen = self._gen
+        if gen is None or gen.gi_frame is None:
+            return None
+        while True:
+            sub = gen.gi_yieldfrom
+            if not isinstance(sub, GeneratorType) or sub.gi_frame is None:
+                break
+            gen = sub
+        frame = gen.gi_frame
+        code = frame.f_code
+        filename = code.co_filename.rsplit("/", 1)[-1]
+        return f"{code.co_name} ({filename}:{frame.f_lineno})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimTask {self.name} tid={self.tid} state={self.state} "
+                f"clock={self.clock:.6f} reason={self.block_reason!r}>")
+
+
 class Engine:
-    """Virtual-time scheduler for simulated threads and message events."""
+    """Virtual-time scheduler for simulated threads/tasks and message events.
+
+    ``backend`` selects the execution substrate: ``"threads"`` (host thread
+    per processor, the historical default) or ``"coro"`` (generator
+    continuations on a trampoline, scaling to thousands of processors).
+    Scheduling semantics are identical; see the module docstring.
+    """
 
     def __init__(self, watchdog_events: int = 1_000_000,
-                 scheduler: Optional[Scheduler] = None) -> None:
-        self._threads: list[SimThread] = []
+                 scheduler: Optional[Scheduler] = None,
+                 backend: str = "threads") -> None:
+        if backend not in ("threads", "coro"):
+            raise ValueError(
+                f"engine backend must be 'threads' or 'coro', got {backend!r}")
+        self.backend = backend
+        self._threads: list[Any] = []
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._event_seq = 0
         self._back = threading.Event()
@@ -269,16 +499,30 @@ class Engine:
         #: Tie-break strategy among equal-clock READY threads, or None for
         #: the historical lowest-tid policy (the byte-identical fast path).
         self.scheduler = scheduler
+        # Coro-backend ready queue: a heap of (clock, tid, task) snapshots.
+        # An entry's clock can go stale (service charges bump READY tasks'
+        # clocks); since clocks only ever increase, a stale entry is fixed
+        # lazily at the top of the heap (pop + re-push at the true clock).
+        self._ready: list[tuple[float, int, SimTask]] = []
+        # Live-entity counters so the coro loop avoids the O(n) all-done /
+        # app-done scans per dispatch that the (small) thread backend does.
+        self._live_total = 0
+        self._live_app = 0
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
     def spawn(self, name: str, fn: Callable[[], Any], clock: float = 0.0,
-              daemon: bool = False) -> SimThread:
-        """Register a simulated thread; it starts when :meth:`run` executes."""
+              daemon: bool = False) -> Any:
+        """Register a simulated thread; it starts when :meth:`run` executes.
+
+        Returns a :class:`SimThread` or :class:`SimTask` depending on the
+        engine backend; both expose the same public surface.
+        """
         if self._running:
             raise RuntimeError("cannot spawn threads while engine is running")
-        th = SimThread(self, len(self._threads), name, clock, fn, daemon=daemon)
+        cls = SimTask if self.backend == "coro" else SimThread
+        th = cls(self, len(self._threads), name, clock, fn, daemon=daemon)
         self._threads.append(th)
         return th
 
@@ -292,15 +536,22 @@ class Engine:
         self._event_seq += 1
         heapq.heappush(self._events, (time, self._event_seq, fn))
 
-    def unblock(self, thread: SimThread, wake_time: float) -> None:
-        """Make a blocked thread runnable again at ``wake_time``."""
+    def unblock(self, thread: Any, wake_time: float) -> None:
+        """Make a blocked thread runnable again at ``wake_time``.
+
+        The woken entity competes for dispatch at its *old* clock (the
+        wake-time bump happens when it actually resumes) -- identical on
+        both backends.
+        """
         if thread.state != _BLOCKED:
             raise RuntimeError(
                 f"unblock of non-blocked thread {thread.name} ({thread.state})")
         thread._wake_time = wake_time
         thread.state = _READY
+        if self.backend == "coro":
+            heapq.heappush(self._ready, (thread.clock, thread.tid, thread))
 
-    def kill(self, thread: SimThread, wake_time: float) -> bool:
+    def kill(self, thread: Any, wake_time: float) -> bool:
         """Kill one simulated thread (node crash) at virtual ``wake_time``.
 
         The thread unwinds with :class:`ThreadKilled` at its next runtime
@@ -315,7 +566,7 @@ class Engine:
             self.unblock(thread, wake_time)
         return True
 
-    def stop(self, thread: SimThread, wake_time: float) -> bool:
+    def stop(self, thread: Any, wake_time: float) -> bool:
         """Gracefully stop one simulated thread at virtual ``wake_time``.
 
         Unlike :meth:`kill` this is not a crash: the thread unwinds with a
@@ -344,12 +595,25 @@ class Engine:
 
     def thread_dump(self) -> str:
         """One line per thread: name, tid, state, clock, block reason and
-        wake dependency (who must act for the thread to wake)."""
-        return "; ".join(
-            f"{t.name} tid={t.tid} state={t.state} clock={t.clock:.6f}"
-            + (f" reason={t.block_reason}" if t.block_reason else "")
-            + (f" waiting_on={t.waiting_on}" if t.waiting_on else "")
-            for t in self._threads)
+        wake dependency (who must act for the thread to wake).
+
+        On the coro backend each parked continuation additionally names its
+        innermost suspended frame, so a deadlock report reads
+        ``P3 ... blocked ... in barrier_g (barrier.py:154)``.
+        """
+        parts = []
+        for t in self._threads:
+            line = f"{t.name} tid={t.tid} state={t.state} clock={t.clock:.6f}"
+            if t.block_reason:
+                line += f" reason={t.block_reason}"
+            if t.waiting_on:
+                line += f" waiting_on={t.waiting_on}"
+            if isinstance(t, SimTask) and t.state in (_READY, _BLOCKED):
+                frame = t.frame_description()
+                if frame is not None:
+                    line += f" in {frame}"
+            parts.append(line)
+        return "; ".join(parts)
 
     # ------------------------------------------------------------------
     # Scheduler loop (runs in the host's calling thread)
@@ -363,15 +627,33 @@ class Engine:
         if self._running:
             raise RuntimeError("engine is already running")
         self._running = True
-        for th in self._threads:
-            if th.state == _NEW:
-                th.state = _READY
-                th._host.start()
         try:
-            self._loop()
-        except BaseException:
-            self._abort()
-            raise
+            if self.backend == "coro":
+                self._live_total = self._live_app = 0
+                for th in self._threads:
+                    if th.state == _NEW:
+                        th.state = _READY
+                        heapq.heappush(self._ready,
+                                       (th.clock, th.tid, th))
+                    if th.state != _DONE:
+                        self._live_total += 1
+                        if not th.daemon:
+                            self._live_app += 1
+                try:
+                    self._loop_coro()
+                except BaseException:
+                    self._abort_coro()
+                    raise
+            else:
+                for th in self._threads:
+                    if th.state == _NEW:
+                        th.state = _READY
+                        th._host.start()
+                try:
+                    self._loop()
+                except BaseException:
+                    self._abort()
+                    raise
         finally:
             self._running = False
 
@@ -483,3 +765,240 @@ class Engine:
         for th in self._threads:
             if th._host.is_alive():
                 th._host.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # Coro backend: ready-queue helpers and the trampoline loop
+    # ------------------------------------------------------------------
+    def _peek_ready(self) -> Optional[SimTask]:
+        """The READY task with the smallest (clock, tid), without popping.
+
+        Normalizes the top of the heap on the way: entries for tasks that
+        are no longer READY are discarded (the task was dispatched off a
+        newer entry, or finished during abort), and entries whose snapshot
+        clock is stale (a service charge bumped the task) are re-pushed at
+        the true clock.  Clocks never decrease, so a re-push can only move
+        an entry later -- the heap order stays consistent.
+        """
+        heap = self._ready
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while heap:
+            clock, tid, task = heap[0]
+            if task.state != _READY:
+                heappop(heap)
+                continue
+            if task.clock != clock:
+                heappop(heap)
+                heappush(heap, (task.clock, tid, task))
+                continue
+            return task
+        return None
+
+    def _loop_coro(self) -> None:
+        events = self._events
+        heappop = heapq.heappop
+        scheduler = self.scheduler
+        threads = self._threads
+        while True:
+            if self._live_app == 0 and self._live_total > 0:
+                # Application tasks finished but daemon tasks (replica
+                # servers) are still parked: retire them so they unwind
+                # before the trailing-event drain below.
+                stopped = False
+                for t in threads:
+                    if t.daemon and t.state != _DONE and not t._stop:
+                        self.stop(t, t.clock)
+                        stopped = True
+                if stopped:
+                    continue
+
+            if self._live_total == 0:
+                # Drain in-flight events (e.g. messages still on the wire)
+                # so trailing deliveries and their CPU charges complete.
+                while events:
+                    _, _, fn = heappop(events)
+                    fn()
+                if self._live_total == 0:
+                    return
+                continue
+
+            next_task = self._peek_ready()
+
+            # Events win virtual-time ties so request handlers run before
+            # threads proceed -- identical to the thread backend.
+            if events and (next_task is None
+                           or events[0][0] <= next_task.clock):
+                if next_task is None:
+                    self._blocked_events += 1
+                    if self._blocked_events > self.watchdog_events:
+                        raise EngineDeadlock(
+                            f"watchdog: {self._blocked_events} consecutive "
+                            "events processed while every thread was "
+                            f"blocked: {self.thread_dump()}")
+                else:
+                    self._blocked_events = 0
+                time, _, fn = heappop(events)
+                if time > self.horizon:
+                    self.horizon = time
+                fn()
+                continue
+
+            if next_task is None:
+                raise EngineDeadlock(
+                    "all simulated threads blocked with no pending events: "
+                    + self.thread_dump())
+
+            if scheduler is not None:
+                tie_clock = next_task.clock
+                ties = [t for t in threads
+                        if t.state == _READY and t.clock == tie_clock]
+                if len(ties) > 1:
+                    next_task = scheduler.pick(ties)
+
+            self._blocked_events = 0
+            if next_task.clock > self.horizon:
+                self.horizon = next_task.clock
+            if self._ready and self._ready[0][2] is next_task:
+                heappop(self._ready)
+            self._step(next_task)
+            if next_task.exception is not None:
+                exc = next_task.exception
+                next_task.exception = None
+                raise exc
+
+    def _step(self, task: SimTask) -> None:
+        """Resume one continuation and run it to its next effect.
+
+        Reproduces the thread backend's primitive semantics exactly:
+
+        * first dispatch runs the body's prefix even when the task is
+          already marked killed (only an engine-wide abort short-circuits),
+          because a host thread's bootstrap checks only ``_aborting``;
+        * resuming from :data:`YIELD` checks abort -> killed -> stop and
+          throws before touching the clock;
+        * resuming from :class:`Block` performs the same checks *before*
+          the wake-time bump, so a killed task unwinds at its old clock;
+        * a :class:`Block` effect from a task already marked killed/stopped
+          raises synchronously (the thread backend's ``block()`` entry
+          check), while a :data:`YIELD` effect always parks first and
+          raises at the next dispatch.
+        """
+        task.state = _RUNNING
+        throw: Optional[BaseException] = None
+        send_value: Any = None
+        gen = task._gen
+        if gen is None:
+            if self._aborting:
+                self._finish(task)
+                return
+            try:
+                result = task._fn()
+            except SimAborted:
+                self._finish(task)
+                return
+            except BaseException as exc:  # noqa: BLE001
+                task.exception = exc
+                self._finish(task)
+                return
+            if not isinstance(result, GeneratorType):
+                # A body that never blocks (or a plain non-generator
+                # function) completes on its first dispatch.
+                task.result = result
+                self._finish(task)
+                return
+            task._gen = gen = result
+        elif task._resume == _RESUME_YIELD:
+            if self._aborting:
+                throw = SimAborted()
+            elif task._killed:
+                throw = ThreadKilled()
+            elif task._stop:
+                throw = SimAborted()
+        else:  # _RESUME_BLOCK
+            if self._aborting:
+                throw = SimAborted()
+            elif task._killed:
+                throw = ThreadKilled()
+            elif task._stop:
+                throw = SimAborted()
+            else:
+                task.block_reason = None
+                task.waiting_on = None
+                if task._wake_time > task.clock:
+                    task.clock = task._wake_time
+                send_value = task.clock
+
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    effect = gen.throw(exc)
+                else:
+                    effect = gen.send(send_value)
+            except StopIteration as stop:
+                task.result = stop.value
+                self._finish(task)
+                return
+            except SimAborted:
+                # ThreadKilled / SimAborted unwound the body: not an error.
+                self._finish(task)
+                return
+            except BaseException as exc:  # noqa: BLE001
+                task.exception = exc
+                self._finish(task)
+                return
+            send_value = None
+            if effect is YIELD:
+                task.state = _READY
+                task._resume = _RESUME_YIELD
+                heapq.heappush(self._ready, (task.clock, task.tid, task))
+                return
+            if type(effect) is Block:
+                if task._killed:
+                    throw = ThreadKilled()
+                    continue
+                if task._stop:
+                    throw = SimAborted()
+                    continue
+                task.state = _BLOCKED
+                task.block_reason = effect.reason
+                task.waiting_on = effect.waiting_on
+                task._resume = _RESUME_BLOCK
+                return
+            throw = RuntimeError(
+                f"{task.name}: unknown effect {effect!r} yielded to the "
+                "engine (expected YIELD or Block)")
+
+    def _finish(self, task: SimTask) -> None:
+        """Mark one continuation done and update the live counters."""
+        task.state = _DONE
+        task._gen = None
+        self._live_total -= 1
+        if not task.daemon:
+            self._live_app -= 1
+        obs = self.obs
+        if obs is not None:
+            obs.instant(task.clock, task.tid,
+                        "thread_killed" if task._killed else "thread_done")
+
+    def _abort_coro(self) -> None:
+        """Unwind all live continuations after a failure.
+
+        Mirrors the thread backend's abort handshake: every live task is
+        resumed once with :class:`SimAborted` thrown into its generator (so
+        ``finally`` blocks run), then marked done.  Tasks that never ran
+        (no generator yet) are finished without executing their body, like
+        a host thread whose bootstrap sees ``_aborting`` before calling
+        the function.
+        """
+        self._aborting = True
+        for task in self._threads:
+            if task.state in (_DONE, _NEW):
+                continue
+            gen = task._gen
+            if gen is not None:
+                try:
+                    gen.throw(SimAborted())
+                except BaseException:  # noqa: BLE001 - unwinding only
+                    pass
+            self._finish(task)

@@ -21,9 +21,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.tmk.barrier import BarrierSubsystem
+from repro.tmk.barrier import (BarrierSubsystem, DisseminationBarrierSubsystem,
+                               TreeBarrierSubsystem)
 from repro.tmk.consistency import LrcCore
-from repro.tmk.locks import LockSubsystem
+from repro.tmk.locks import LockSubsystem, McsLockSubsystem
 from repro.tmk.sharedmem import SharedArray, SharedHeap
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,12 +59,33 @@ class TmkConfig:
     #: collects when memory runs low).  Collection forces every processor
     #: to validate its invalid pages first, as in real TreadMarks.
     gc_every: int = 0
+    #: Barrier topology: "central" (the paper's TreadMarks -- one manager,
+    #: 2(n-1) messages per episode), "tree" (k-ary combining tree --
+    #: arrivals merge upward, departures fan downward, O(n) messages but
+    #: O(log n) serial latency at the root), or "dissemination" (butterfly
+    #: exchange, ceil(log2 n) rounds of n messages each, no root at all).
+    #: Results at the default are byte-identical to the seed.
+    barrier_kind: str = "central"
+    #: Lock protocol: "static" (the paper's TreadMarks -- static manager,
+    #: request forwarding, O(n)-vector grants through the manager) or
+    #: "mcs" (distributed queue: the manager only swaps a tail pointer;
+    #: the grant travels requester-to-requester, so a contended lock costs
+    #: O(1) manager work instead of a growing forward chain).
+    lock_kind: str = "static"
 
     def __post_init__(self) -> None:
         if self.protocol not in ("lazy", "eager"):
             raise ValueError(f"unknown protocol {self.protocol!r}")
         if self.piggyback_budget < 0 or self.gc_every < 0:
             raise ValueError("piggyback_budget/gc_every must be >= 0")
+        if self.barrier_kind not in ("central", "tree", "dissemination"):
+            raise ValueError(f"unknown barrier_kind {self.barrier_kind!r}")
+        if self.lock_kind not in ("static", "mcs"):
+            raise ValueError(f"unknown lock_kind {self.lock_kind!r}")
+        if self.barrier_kind != "central" and self.gc_every:
+            raise ValueError(
+                "gc_every requires the central barrier (the GC decision is "
+                "the barrier manager's)")
 
 
 class TmkSystem:
@@ -76,6 +98,12 @@ class TmkSystem:
         self.config = config
         self.heap = SharedHeap(config.segment_bytes, cluster.cost.page_size)
         self.barrier_manager = config.barrier_manager
+        if (config.barrier_kind == "dissemination"
+                and cluster.recovery is not None
+                and cluster.recovery.config.checkpoint_interval > 0):
+            raise ValueError(
+                "coordinated checkpoints need a barrier with a root to "
+                "decide the cut; use barrier_kind='central' or 'tree'")
 
     def lock_manager(self, lock: int) -> int:
         """Static lock-manager assignment (lock id modulo processors)."""
@@ -89,8 +117,15 @@ class Tmk:
         self.proc = proc
         self.system = system
         self.core = LrcCore(proc, system)
-        self.locks = LockSubsystem(proc, self.core, system)
-        self.barriers = BarrierSubsystem(proc, self.core, system)
+        lock_cls = (McsLockSubsystem if system.config.lock_kind == "mcs"
+                    else LockSubsystem)
+        self.locks = lock_cls(proc, self.core, system)
+        barrier_cls = {
+            "central": BarrierSubsystem,
+            "tree": TreeBarrierSubsystem,
+            "dissemination": DisseminationBarrierSubsystem,
+        }[system.config.barrier_kind]
+        self.barriers = barrier_cls(proc, self.core, system)
         self._arrays: Dict[str, SharedArray] = {}
 
     # ------------------------------------------------------------------
@@ -109,11 +144,23 @@ class Tmk:
         """Stall until every processor reaches barrier ``bid``."""
         self.barriers.barrier(bid)
 
+    def barrier_g(self, bid: int):
+        """Generator form of :meth:`barrier` (coro-backend convention)."""
+        yield from self.barriers.barrier_g(bid)
+
     def lock_acquire(self, lock: int) -> None:
         self.locks.acquire(lock)
 
+    def lock_acquire_g(self, lock: int):
+        """Generator form of :meth:`lock_acquire`."""
+        yield from self.locks.acquire_g(lock)
+
     def lock_release(self, lock: int) -> None:
         self.locks.release(lock)
+
+    def lock_release_g(self, lock: int):
+        """Generator form of :meth:`lock_release`."""
+        yield from self.locks.release_g(lock)
 
     # ------------------------------------------------------------------
     # Shared memory

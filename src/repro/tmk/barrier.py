@@ -18,17 +18,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+import math
+
 from repro.obs.core import B_RECOVERY, B_STALL_SYNC, B_WIRE
+from repro.sim.engine import Block, YIELD
 from repro.sim.network import Delivery
 from repro.tmk.protocol import (CAT_BARRIER_ARRIVAL, CAT_BARRIER_DEPARTURE,
-                                BarrierArrival, BarrierDeparture)
+                                CAT_DISS_ROUND, CAT_TREE_ARRIVAL,
+                                CAT_TREE_DEPARTURE, BarrierArrival,
+                                BarrierDeparture, DissRound, TreeArrival,
+                                TreeDeparture)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.cluster import Processor
     from repro.tmk.api import TmkSystem
     from repro.tmk.consistency import LrcCore
 
-__all__ = ["BarrierSubsystem"]
+__all__ = ["BarrierSubsystem", "DisseminationBarrierSubsystem",
+           "TreeBarrierSubsystem"]
 
 #: CPU cost of the local bookkeeping at a barrier (no-communication part).
 _LOCAL_BARRIER_CPU = 10e-6
@@ -83,8 +90,12 @@ class BarrierSubsystem:
     # Application interface
     # ------------------------------------------------------------------
     def barrier(self, bid: int) -> None:
+        return self.proc.drive(self.barrier_g(bid))
+
+    def barrier_g(self, bid: int):
+        """Generator form of :meth:`barrier` (coro-backend convention)."""
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         self.core.close_interval()
         proc.compute(_LOCAL_BARRIER_CPU)
         t_arrive = proc.now
@@ -102,25 +113,25 @@ class BarrierSubsystem:
         if monitor is not None:
             monitor.on_barrier_arrive(self.pid, bid, proc.now)
         if self.pid == self.manager:
-            self._manager_arrive(bid, t_arrive)
+            yield from self._manager_arrive_g(bid, t_arrive)
         else:
-            self._client_arrive(bid, t_arrive)
+            yield from self._client_arrive_g(bid, t_arrive)
         self.wait_time += proc.now - t_arrive
         self.episodes_completed += 1
         if obs is not None:
             obs.end(proc.now, self.pid)
-        self._run_post_departure()
+        yield from self._run_post_departure_g()
         if sanitizer is not None:
             sanitizer.on_barrier_depart(self.pid, bid)
         if monitor is not None:
             monitor.on_barrier_depart(self.pid, bid, proc.now)
 
-    def _run_post_departure(self) -> None:
+    def _run_post_departure_g(self):
         """Execute any GC/checkpoint instruction the departure carried."""
         validate, floor, checkpoint = self._post_departure
         self._post_departure = (False, None, False)
         if validate:
-            self.core.validate_all_pending()
+            yield from self.core.validate_all_pending_g()
             self.gc_runs += 1
         if floor is not None:
             self.core.drop_below(floor)
@@ -135,7 +146,7 @@ class BarrierSubsystem:
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
-    def _client_arrive(self, bid: int, t_arrive: float) -> None:
+    def _client_arrive_g(self, bid: int, t_arrive: float):
         proc = self.proc
         records = self.core.records_since(self._last_barrier_vc)
         arrival = BarrierArrival(barrier=bid, pid=self.pid,
@@ -151,8 +162,8 @@ class BarrierSubsystem:
         if obs is not None:
             obs.end(proc.now, self.pid)
         self._waiting = True
-        proc.block(f"barrier {bid}",
-                   waiting_on=f"P{self.manager} (barrier manager)")
+        yield Block(f"barrier {bid}",
+                    f"P{self.manager} (barrier manager)")
         self._waiting = False
         departure = self._departure
         self._departure = None
@@ -184,7 +195,7 @@ class BarrierSubsystem:
     def _episode(self, bid: int) -> _Episode:
         return self._episodes.setdefault(bid, _Episode())
 
-    def _manager_arrive(self, bid: int, t_arrive: float) -> None:
+    def _manager_arrive_g(self, bid: int, t_arrive: float):
         proc = self.proc
         episode = self._episode(bid)
         episode.manager_arrived = True
@@ -202,8 +213,8 @@ class BarrierSubsystem:
                 obs.end(proc.now, self.pid)
         else:
             self._waiting = True
-            proc.block(f"barrier {bid} (manager)",
-                       waiting_on="remaining barrier arrivals")
+            yield Block(f"barrier {bid} (manager)",
+                        "remaining barrier arrivals")
             self._waiting = False
         self._last_barrier_vc = tuple(self.core.vc)
         proc.trace("barrier_release", f"bid={bid}")
@@ -275,3 +286,323 @@ class BarrierSubsystem:
         self._post_departure = (validate_all, drop, checkpoint)
         del self._episodes[bid]
         return t
+
+
+# ----------------------------------------------------------------------
+# Scalable variants (TmkConfig.barrier_kind)
+# ----------------------------------------------------------------------
+#: Fan-in of the combining tree (k-ary, rooted at the barrier manager).
+_TREE_ARITY = 4
+
+
+class TreeBarrierSubsystem(BarrierSubsystem):
+    """K-ary combining-tree barrier (``barrier_kind="tree"``).
+
+    The centralized barrier serializes 2(n-1) messages *and* n-1 merges on
+    one manager -- O(n) latency per episode with O(n)-sized vector times,
+    which is the scaling wall the paper's 8-node testbed never hit.  The
+    tree spreads the merge: each node combines its children's arrivals
+    (records + element-wise-min vector time for the subtree), forwards one
+    merged arrival to its parent, and fans the root's global departure
+    back down.  Same O(n) message count, but the root handles only
+    ``_TREE_ARITY`` messages and serial latency drops to O(log n).
+
+    Departures select ``records_since(subtree min vc)`` -- a superset of
+    what any subtree member lacks; merging a known record again is a
+    no-op, so correctness needs no per-member bookkeeping.
+
+    The root (the configured barrier manager) still makes the coordinated
+    checkpoint decision, exactly like the central manager.  GC is not
+    supported (validated in :class:`~repro.tmk.api.TmkConfig`).
+    """
+
+    def __init__(self, proc: "Processor", core: "LrcCore",
+                 system: "TmkSystem") -> None:
+        super().__init__(proc, core, system)
+        n = self.nprocs
+        pos = (self.pid - self.manager) % n
+        self._pos = pos
+        if pos == 0:
+            self._parent: Optional[int] = None
+        else:
+            self._parent = (((pos - 1) // _TREE_ARITY) + self.manager) % n
+        first = _TREE_ARITY * pos + 1
+        self._children = [(p + self.manager) % n
+                          for p in range(first, min(first + _TREE_ARITY, n))]
+        #: bid -> number of episodes of that barrier this node completed.
+        self._episode_no: Dict[int, int] = {}
+        #: (bid, episode) -> in-flight episode state.
+        self._tree: Dict[Tuple[int, int], dict] = {}
+        self._seen_arrivals: set = set()
+        proc.register(CAT_TREE_ARRIVAL, self._on_tree_arrival)
+        proc.register(CAT_TREE_DEPARTURE, self._on_tree_departure)
+
+    def _tree_state(self, bid: int, episode: int) -> dict:
+        return self._tree.setdefault((bid, episode), {
+            "arrivals": {},          # child pid -> TreeArrival
+            "t": 0.0,                # latest arrival service-end time
+            "waiting_children": False,
+            "departure": None,
+            "waiting_departure": False,
+        })
+
+    def barrier_g(self, bid: int):
+        proc = self.proc
+        yield YIELD
+        self.core.close_interval()
+        proc.compute(_LOCAL_BARRIER_CPU)
+        t_arrive = proc.now
+        if self.nprocs == 1:
+            self.episodes_completed += 1
+            return
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "barrier", B_STALL_SYNC,
+                      f"bid={bid} tree")
+        sanitizer = self.core.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_barrier_arrive(self.pid, bid)
+        monitor = self.core.monitor
+        if monitor is not None:
+            monitor.on_barrier_arrive(self.pid, bid, proc.now)
+
+        episode = self._episode_no.get(bid, 0)
+        self._episode_no[bid] = episode + 1
+        state = self._tree_state(bid, episode)
+        own_vc = tuple(self.core.vc)
+
+        # Phase 1: combine the children's subtrees.
+        if self._children:
+            if len(state["arrivals"]) < len(self._children):
+                state["waiting_children"] = True
+                yield Block(f"barrier {bid} (tree arrivals)",
+                            "child subtree arrivals")
+                state["waiting_children"] = False
+            if state["t"] > proc.now:
+                proc.set_now(state["t"])
+            min_vc = list(own_vc)
+            for child in sorted(state["arrivals"]):
+                arrival = state["arrivals"][child]
+                self.core.merge(arrival.records, arrival.vc)
+                min_vc = [min(a, b) for a, b in zip(min_vc, arrival.min_vc)]
+        else:
+            min_vc = list(own_vc)
+
+        if self._parent is None:
+            # Root: global knowledge is complete; decide the checkpoint
+            # and fan the departure down.
+            t_release = proc.now
+            recovery = proc.cluster.recovery
+            checkpoint = (recovery is not None
+                          and recovery.tmk_checkpoint_due(t_release))
+            if checkpoint:
+                recovery.note_checkpoint(t_release)
+            t = t_release
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"tree_departures bid={bid}")
+            for child in sorted(state["arrivals"]):
+                arrival = state["arrivals"][child]
+                departure = TreeDeparture(
+                    barrier=bid, episode=episode, vc=tuple(self.core.vc),
+                    records=self.core.records_since(arrival.min_vc),
+                    checkpoint=checkpoint)
+                t = self.core.udp.send(
+                    self.pid, child, CAT_TREE_DEPARTURE, departure,
+                    departure.nbytes(self.cost, self.nprocs), t_ready=t)
+            proc.set_now(t)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
+            self._post_departure = (False, None, checkpoint)
+        else:
+            # Interior/leaf: one merged arrival up, then wait for the
+            # global departure and fan it down.
+            up = TreeArrival(
+                barrier=bid, episode=episode, pid=self.pid,
+                vc=tuple(self.core.vc), min_vc=tuple(min_vc),
+                records=self.core.records_since(self._last_barrier_vc))
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"tree_arrival->P{self._parent}")
+            t_free = self.core.udp.send(
+                self.pid, self._parent, CAT_TREE_ARRIVAL, up,
+                up.nbytes(self.cost, self.nprocs), t_ready=proc.now)
+            proc.set_now(t_free)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
+            state["waiting_departure"] = True
+            yield Block(f"barrier {bid} (tree departure)",
+                        f"P{self._parent} (tree parent)")
+            state["waiting_departure"] = False
+            departure = state["departure"]
+            if departure is None:
+                raise AssertionError(
+                    f"P{self.pid}: woke from tree barrier {bid} without a "
+                    "departure")
+            self.core.merge(departure.records, departure.vc)
+            t = proc.now
+            for child in sorted(state["arrivals"]):
+                arrival = state["arrivals"][child]
+                down = TreeDeparture(
+                    barrier=bid, episode=episode, vc=departure.vc,
+                    records=self.core.records_since(arrival.min_vc),
+                    checkpoint=departure.checkpoint)
+                t = self.core.udp.send(
+                    self.pid, child, CAT_TREE_DEPARTURE, down,
+                    down.nbytes(self.cost, self.nprocs), t_ready=t)
+            if t > proc.now:
+                proc.set_now(t)
+            self._post_departure = (False, None, departure.checkpoint)
+
+        self._last_barrier_vc = tuple(self.core.vc)
+        del self._tree[(bid, episode)]
+        self.wait_time += proc.now - t_arrive
+        self.episodes_completed += 1
+        if obs is not None:
+            obs.end(proc.now, self.pid)
+        proc.trace("barrier_depart", f"bid={bid} tree")
+        yield from self._run_post_departure_g()
+        if sanitizer is not None:
+            sanitizer.on_barrier_depart(self.pid, bid)
+        if monitor is not None:
+            monitor.on_barrier_depart(self.pid, bid, proc.now)
+
+    # -- handlers ------------------------------------------------------
+    def _on_tree_arrival(self, delivery: Delivery) -> None:
+        arrival: TreeArrival = delivery.payload
+        service = delivery.recv_cpu + self.cost.interrupt_cpu
+        self.proc.charge_service(service)
+        key = arrival.dedup_key()
+        if key in self._seen_arrivals:
+            self.proc.trace("dup_suppress", f"tree_arrival key={key}")
+            return
+        self._seen_arrivals.add(key)
+        state = self._tree_state(arrival.barrier, arrival.episode)
+        state["arrivals"][arrival.pid] = arrival
+        state["t"] = max(state["t"], delivery.arrival + service)
+        if (state["waiting_children"]
+                and len(state["arrivals"]) == len(self._children)):
+            self.proc.unblock(state["t"])
+
+    def _on_tree_departure(self, delivery: Delivery) -> None:
+        departure: TreeDeparture = delivery.payload
+        state = self._tree.get((departure.barrier, departure.episode))
+        if (state is None or not state["waiting_departure"]
+                or state["departure"] is not None):
+            self.proc.trace(
+                "dup_suppress",
+                f"tree_departure bid={departure.barrier}")
+            return
+        state["departure"] = departure
+        self.proc.unblock(delivery.arrival + delivery.recv_cpu)
+
+
+class DisseminationBarrierSubsystem(BarrierSubsystem):
+    """Butterfly/dissemination barrier (``barrier_kind="dissemination"``).
+
+    ``ceil(log2 n)`` rounds; in round k processor p sends to
+    ``(p + 2^k) mod n`` and waits on ``(p - 2^k) mod n``.  No root, no
+    single hot spot, and the critical path is one message per round --
+    the flattest latency of the three kinds.  The price: every round
+    resends the episode's new interval records (a peer cannot know what
+    its partner already heard), so record traffic is O(n log n) per
+    episode where the tree ships O(n).
+
+    No root also means nobody can decide a coordinated checkpoint or a GC
+    cut -- both are validated away in :class:`~repro.tmk.api.TmkConfig`
+    and :class:`~repro.tmk.api.TmkSystem`.
+    """
+
+    def __init__(self, proc: "Processor", core: "LrcCore",
+                 system: "TmkSystem") -> None:
+        super().__init__(proc, core, system)
+        self._rounds = max(1, math.ceil(math.log2(self.nprocs))) \
+            if self.nprocs > 1 else 0
+        #: bid -> completed-episode counter.
+        self._episode_no: Dict[int, int] = {}
+        #: (bid, episode, round) -> buffered DissRound not yet consumed.
+        self._got: Dict[Tuple[int, int, int], Tuple[DissRound, float]] = {}
+        self._consumed: set = set()
+        #: The (bid, episode, round) key the app thread is blocked on.
+        self._waiting_key: Optional[Tuple[int, int, int]] = None
+        proc.register(CAT_DISS_ROUND, self._on_round)
+
+    def barrier_g(self, bid: int):
+        proc = self.proc
+        yield YIELD
+        self.core.close_interval()
+        proc.compute(_LOCAL_BARRIER_CPU)
+        t_arrive = proc.now
+        if self.nprocs == 1:
+            self.episodes_completed += 1
+            return
+        obs = proc.obs
+        if obs is not None:
+            obs.begin(proc.now, self.pid, "barrier", B_STALL_SYNC,
+                      f"bid={bid} dissemination")
+        sanitizer = self.core.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_barrier_arrive(self.pid, bid)
+        monitor = self.core.monitor
+        if monitor is not None:
+            monitor.on_barrier_arrive(self.pid, bid, proc.now)
+
+        episode = self._episode_no.get(bid, 0)
+        self._episode_no[bid] = episode + 1
+        n = self.nprocs
+        base_vc = self._last_barrier_vc
+        for k in range(self._rounds):
+            dst = (self.pid + (1 << k)) % n
+            src = (self.pid - (1 << k)) % n
+            msg = DissRound(barrier=bid, episode=episode, round_no=k,
+                            pid=self.pid, vc=tuple(self.core.vc),
+                            records=self.core.records_since(base_vc))
+            if obs is not None:
+                obs.begin(proc.now, self.pid, "send", B_WIRE,
+                          f"diss_round{k}->P{dst}")
+            t_free = self.core.udp.send(
+                self.pid, dst, CAT_DISS_ROUND, msg,
+                msg.nbytes(self.cost, n), t_ready=proc.now)
+            proc.set_now(t_free)
+            if obs is not None:
+                obs.end(proc.now, self.pid)
+            key = (bid, episode, k)
+            got = self._got.pop(key, None)
+            if got is None:
+                self._waiting_key = key
+                yield Block(f"barrier {bid} (dissemination round {k})",
+                            f"P{src} (round partner)")
+                self._waiting_key = None
+                got = self._got.pop(key, None)
+                if got is None:
+                    raise AssertionError(
+                        f"P{self.pid}: woke from dissemination round {k} "
+                        f"of barrier {bid} without its message")
+            incoming, t_seen = got
+            self._consumed.add(key)
+            if t_seen > proc.now:
+                proc.set_now(t_seen)
+            self.core.merge(incoming.records, incoming.vc)
+
+        self._last_barrier_vc = tuple(self.core.vc)
+        self.wait_time += proc.now - t_arrive
+        self.episodes_completed += 1
+        if obs is not None:
+            obs.end(proc.now, self.pid)
+        proc.trace("barrier_depart", f"bid={bid} dissemination")
+        if sanitizer is not None:
+            sanitizer.on_barrier_depart(self.pid, bid)
+        if monitor is not None:
+            monitor.on_barrier_depart(self.pid, bid, proc.now)
+
+    def _on_round(self, delivery: Delivery) -> None:
+        msg: DissRound = delivery.payload
+        service = delivery.recv_cpu + self.cost.interrupt_cpu
+        self.proc.charge_service(service)
+        key = (msg.barrier, msg.episode, msg.round_no)
+        if key in self._got or key in self._consumed:
+            self.proc.trace("dup_suppress", f"diss_round key={key}")
+            return
+        self._got[key] = (msg, delivery.arrival + service)
+        if self._waiting_key == key:
+            self.proc.unblock(delivery.arrival + service)

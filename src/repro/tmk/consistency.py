@@ -30,6 +30,7 @@ import bisect
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.obs.core import B_PROTOCOL, B_STALL_DATA, B_WIRE
+from repro.sim.engine import YIELD
 from repro.sim.network import Delivery, UdpChannel
 from repro.tmk.diffs import Diff, coalesce, make_diffs
 from repro.tmk.intervals import (IntervalId, IntervalRecord, dominant_writers,
@@ -294,23 +295,35 @@ class LrcCore:
     def ensure_valid_runs(self, runs) -> None:
         """Validate every page the access touches (LRC pages are never
         stolen, so run-by-run handling is race-free)."""
+        return self.proc.drive(self.ensure_valid_runs_g(runs))
+
+    def ensure_valid_runs_g(self, runs):
         for start, nbytes in runs:
-            self.ensure_valid_range(start, nbytes)
+            yield from self.ensure_valid_range_g(start, nbytes)
 
     def ensure_writable_runs(self, runs) -> None:
+        return self.proc.drive(self.ensure_writable_runs_g(runs))
+
+    def ensure_writable_runs_g(self, runs):
         for start, nbytes in runs:
-            self.ensure_writable_range(start, nbytes)
+            yield from self.ensure_writable_range_g(start, nbytes)
 
     def ensure_valid_range(self, start: int, nbytes: int) -> None:
+        return self.proc.drive(self.ensure_valid_range_g(start, nbytes))
+
+    def ensure_valid_range_g(self, start: int, nbytes: int):
         for page in self.pt.pages_for_range(start, nbytes):
             if not self.pt.is_valid(page):
-                self._fault(page)
+                yield from self._fault_g(page)
 
     def ensure_writable_range(self, start: int, nbytes: int) -> None:
         """Validate and twin every page in the range before a write."""
+        return self.proc.drive(self.ensure_writable_range_g(start, nbytes))
+
+    def ensure_writable_range_g(self, start: int, nbytes: int):
         for page in self.pt.pages_for_range(start, nbytes):
             if not self.pt.is_valid(page):
-                self._fault(page)
+                yield from self._fault_g(page)
             if not self.pt.has_twin(page):
                 obs = self.proc.obs
                 if obs is not None:
@@ -321,7 +334,7 @@ class LrcCore:
                 if obs is not None:
                     obs.end(self.proc.now, self.pid)
 
-    def _fault(self, page: int) -> None:
+    def _fault_g(self, page: int):
         """Bring an invalidated page up to date by fetching missing diffs.
 
         Under eager RC, new notices for this page can arrive *while the
@@ -330,7 +343,7 @@ class LrcCore:
         notices (which would leave it stale forever).
         """
         proc = self.proc
-        proc.yield_point()
+        yield YIELD
         if not self.pending.get(page):
             raise AssertionError(
                 f"P{self.pid}: page {page} invalid with no pending notices")
@@ -342,13 +355,13 @@ class LrcCore:
         proc.compute(self.cost.fault_cpu)
         t_fault_start = proc.now
         while self.pending.get(page):
-            self._fetch_round(page)
+            yield from self._fetch_round_g(page)
         self.pt.validate(page)
         self.fault_wait_time += proc.now - t_fault_start
         if obs is not None:
             obs.end(proc.now, self.pid)
 
-    def _fetch_round(self, page: int) -> None:
+    def _fetch_round_g(self, page: int):
         """One request/response/apply round for a page's pending notices."""
         proc = self.proc
         obs = proc.obs
@@ -391,7 +404,8 @@ class LrcCore:
         entries: Dict[IntervalId, Tuple[Tuple[int, ...], Diff]] = {}
         satisfied = set()
         for box in boxes:
-            response: DiffResponse = box.wait(f"diffs for page {page}")
+            response: DiffResponse = yield from box.wait_g(
+                f"diffs for page {page}")
             for iid, ivc, diff in response.entries:
                 entries.setdefault(iid, (ivc, diff))
                 satisfied.add(iid)
@@ -451,10 +465,13 @@ class LrcCore:
         """Fault in every invalid page (GC phase 1: once everyone has done
         this, diffs below the global minimum vector time are dead).
         Returns the number of pages validated."""
+        return self.proc.drive(self.validate_all_pending_g())
+
+    def validate_all_pending_g(self):
         pages = sorted(self.pending)
         for page in pages:
             if not self.pt.is_valid(page):
-                self._fault(page)
+                yield from self._fault_g(page)
         return len(pages)
 
     def drop_below(self, floor: Tuple[int, ...]) -> int:

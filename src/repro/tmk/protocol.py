@@ -32,8 +32,14 @@ __all__ = [
     "BarrierDeparture",
     "DiffRequest",
     "DiffResponse",
+    "DissRound",
     "LockGrant",
     "LockRequest",
+    "McsLink",
+    "McsSwap",
+    "McsTail",
+    "TreeArrival",
+    "TreeDeparture",
     "notice_bytes",
 ]
 
@@ -46,6 +52,15 @@ CAT_DIFF_REQUEST = "diff_request"
 CAT_DIFF_RESPONSE = "diff_response"
 #: Eager-RC mode only: write notices broadcast at every release.
 CAT_ERC_NOTICE = "erc_notice"
+#: Tree barrier (TmkConfig.barrier_kind="tree"): combining-tree episodes.
+CAT_TREE_ARRIVAL = "tree_arrival"
+CAT_TREE_DEPARTURE = "tree_departure"
+#: Dissemination barrier (barrier_kind="dissemination"): butterfly rounds.
+CAT_DISS_ROUND = "diss_round"
+#: MCS-style queue locks (TmkConfig.lock_kind="mcs").
+CAT_MCS_SWAP = "mcs_swap"
+CAT_MCS_TAIL = "mcs_tail"
+CAT_MCS_LINK = "mcs_link"
 
 
 def notice_bytes(records: List[IntervalRecord], cost: "CostModel",
@@ -155,6 +170,129 @@ class ErcNotice:
     def nbytes(self, cost: "CostModel", nprocs: int) -> int:
         return (cost.sync_message_bytes
                 + notice_bytes([self.record], cost, nprocs))
+
+
+@dataclass
+class TreeArrival:
+    """Tree barrier: child -> parent, one subtree's merged knowledge.
+
+    ``min_vc`` is the element-wise minimum vector time over every member
+    of the sender's subtree: the parent's departure must carry every
+    record some member might lack, so departures select
+    ``records_since(min_vc)`` -- a safe superset (merging a record twice
+    is idempotent).
+    """
+
+    barrier: int
+    #: Per-(node, bid) episode counter; all processors execute the same
+    #: barrier sequence, so counters agree and key one episode uniquely.
+    episode: int
+    pid: int
+    vc: Tuple[int, ...]
+    min_vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes + 2 * cost.vector_time_bytes * nprocs
+                + notice_bytes(self.records, cost, nprocs))
+
+    def dedup_key(self) -> Tuple[int, int, int]:
+        return (self.barrier, self.episode, self.pid)
+
+
+@dataclass
+class TreeDeparture:
+    """Tree barrier: parent -> child, global knowledge flowing down."""
+
+    barrier: int
+    episode: int
+    vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+    #: Root's checkpoint decision, riding the departure like the central
+    #: barrier's flag (the departure is the same consistent cut).
+    checkpoint: bool = False
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+                + notice_bytes(self.records, cost, nprocs))
+
+
+@dataclass
+class DissRound:
+    """Dissemination barrier: one butterfly-round message.
+
+    Round ``k`` goes from position ``p`` to ``(p + 2^k) mod n``; after
+    ``ceil(log2 n)`` rounds every processor has (transitively) heard from
+    every other.  Each round resends everything new since the previous
+    episode -- the butterfly's O(n log n) record traffic is the price of
+    having no root.
+    """
+
+    barrier: int
+    episode: int
+    round_no: int
+    pid: int
+    vc: Tuple[int, ...]
+    records: List[IntervalRecord]
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return (cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+                + notice_bytes(self.records, cost, nprocs))
+
+    def dedup_key(self) -> Tuple[int, int, int, int]:
+        return (self.barrier, self.episode, self.round_no, self.pid)
+
+
+@dataclass
+class McsSwap:
+    """MCS lock acquirer -> manager: atomically swap the queue tail.
+
+    Constant-size: the vector time does NOT ride through the manager (the
+    point of the MCS variant -- at n=1024 a vector time is ~8 KB and the
+    static protocol ships two copies of it through the manager per
+    acquire).
+    """
+
+    lock: int
+    requester: int
+    reply: "Mailbox"
+
+    def nbytes(self, cost: "CostModel") -> int:
+        return cost.sync_message_bytes
+
+    def dedup_key(self) -> Tuple[int, int]:
+        return (self.lock, self.requester)
+
+
+@dataclass
+class McsTail:
+    """MCS lock manager -> acquirer: the previous queue tail."""
+
+    lock: int
+    predecessor: int
+
+    def nbytes(self, cost: "CostModel") -> int:
+        return cost.sync_message_bytes
+
+
+@dataclass
+class McsLink:
+    """MCS lock acquirer -> predecessor: enqueue behind it.
+
+    Carries the acquirer's vector time once, point to point, so the
+    predecessor can select the write notices for the eventual grant.
+    """
+
+    lock: int
+    requester: int
+    vc: Tuple[int, ...]
+    reply: "Mailbox"
+
+    def nbytes(self, cost: "CostModel", nprocs: int) -> int:
+        return cost.sync_message_bytes + cost.vector_time_bytes * nprocs
+
+    def dedup_key(self) -> Tuple[int, int]:
+        return (self.lock, self.requester)
 
 
 @dataclass

@@ -204,7 +204,11 @@ class SharedArray:
     # ------------------------------------------------------------------
     def read(self, key: Any = slice(None)) -> np.ndarray:
         """Read access: faults in any invalid page, returns a read-only view."""
-        return self._read(key, racy=False)
+        return self.tmk.core.proc.drive(self._read_g(key, racy=False))
+
+    def read_g(self, key: Any = slice(None)):
+        """Generator form of :meth:`read` (coro-backend convention)."""
+        return (yield from self._read_g(key, racy=False))
 
     def read_racy(self, key: Any = slice(None)) -> np.ndarray:
         """Annotated intentionally-unsynchronized read.
@@ -215,13 +219,17 @@ class SharedArray:
         exempts it from the happens-before check.  The false-sharing
         analyzer still records it.
         """
-        return self._read(key, racy=True)
+        return self.tmk.core.proc.drive(self._read_g(key, racy=True))
 
-    def _read(self, key: Any, racy: bool) -> np.ndarray:
+    def read_racy_g(self, key: Any = slice(None)):
+        """Generator form of :meth:`read_racy`."""
+        return (yield from self._read_g(key, racy=True))
+
+    def _read_g(self, key: Any, racy: bool):
         norm = self._normalize(key)
         runs = self._touched_runs(norm)
         core = self.tmk.core
-        core.ensure_valid_runs(runs)
+        yield from core.ensure_valid_runs_g(runs)
         sanitizer = getattr(core, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.on_access(core, runs, write=False, racy=racy)
@@ -238,10 +246,24 @@ class SharedArray:
             raise TypeError(f"get() with non-scalar index {key!r}")
         return value
 
+    def get_g(self, key: Any):
+        """Generator form of :meth:`get`."""
+        value = yield from self.read_g(key)
+        if isinstance(value, np.ndarray):
+            raise TypeError(f"get() with non-scalar index {key!r}")
+        return value
+
     def get_racy(self, key: Any):
         """Read one element without synchronization (annotated benign
         race; see :meth:`read_racy`)."""
         value = self.read_racy(key)
+        if isinstance(value, np.ndarray):
+            raise TypeError(f"get_racy() with non-scalar index {key!r}")
+        return value
+
+    def get_racy_g(self, key: Any):
+        """Generator form of :meth:`get_racy`."""
+        value = yield from self.read_racy_g(key)
         if isinstance(value, np.ndarray):
             raise TypeError(f"get_racy() with non-scalar index {key!r}")
         return value
@@ -260,19 +282,24 @@ class SharedArray:
         under momentary ownership -- like real per-store traps -- because
         holding many contended pages simultaneously can livelock.
         """
+        return self.tmk.core.proc.drive(self.write_g(key, values))
+
+    def write_g(self, key: Any, values: Any):
+        """Generator form of :meth:`write`."""
         norm = self._normalize(key)
         runs = self._touched_runs(norm)
         core = self.tmk.core
         sanitizer = getattr(core, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.on_access(core, runs, write=True)
-        if (getattr(core, "prefers_piecewise_writes", False)
-                and self._piecewise_write(norm, runs, values)):
-            return
-        core.ensure_writable_runs(runs)
+        if getattr(core, "prefers_piecewise_writes", False):
+            done = yield from self._piecewise_write_g(norm, runs, values)
+            if done:
+                return
+        yield from core.ensure_writable_runs_g(runs)
         self._view[key] = values
 
-    def _piecewise_write(self, norm: Any, runs: list, values: Any) -> bool:
+    def _piecewise_write_g(self, norm: Any, runs: list, values: Any):
         """Store run by run, page piece by page piece.  Returns False when
         the selection shape rules it out (negative strides, fancy index
         in caller-defined order), letting the caller fall back."""
@@ -298,7 +325,7 @@ class SharedArray:
             end = start + nbytes
             while pos < end:
                 piece = min(end, (pos // page + 1) * page) - pos
-                core.ensure_writable_range(pos, piece)
+                yield from core.ensure_writable_range_g(pos, piece)
                 mem[pos: pos + piece] = flat[at: at + piece]
                 at += piece
                 pos += piece
@@ -308,11 +335,19 @@ class SharedArray:
         """Write one element (alias of write for symmetric style)."""
         self.write(key, value)
 
+    def set_g(self, key: Any, value: Any):
+        """Generator form of :meth:`set`."""
+        yield from self.write_g(key, value)
+
     def __setitem__(self, key: Any, values: Any) -> None:
         self.write(key, values)
 
     def add(self, key: Any, values: Any) -> None:
         """Read-modify-write: ``self[key] += values`` with full fault checks."""
+        return self.tmk.core.proc.drive(self.add_g(key, values))
+
+    def add_g(self, key: Any, values: Any):
+        """Generator form of :meth:`add`."""
         norm = self._normalize(key)
         runs = self._touched_runs(norm)
         core = self.tmk.core
@@ -321,7 +356,7 @@ class SharedArray:
             # A read-modify-write conflicts with everything a write does
             # (prior reads and writes alike), so one write event suffices.
             sanitizer.on_access(core, runs, write=True)
-        core.ensure_writable_runs(runs)
+        yield from core.ensure_writable_runs_g(runs)
         self._view[key] += values
 
     # ------------------------------------------------------------------

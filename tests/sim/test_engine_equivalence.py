@@ -1,0 +1,171 @@
+"""Threads-vs-coro byte-identity: the equivalence lockdown suite.
+
+The continuation backend (``engine="coro"``) exists to scale the
+simulated cluster past what one host thread per processor can carry.  It
+is only trustworthy if it is *indistinguishable* from the historical
+thread backend -- same virtual times, same message traffic, same
+event-by-event trace, same results, byte for byte.  This suite pins that
+claim across the application matrix, the protocol trace, fault
+injection, crash/rollback recovery, quorum failure masking, the
+scheduler hook, and the versioned RunResult record.
+
+Any intentional behaviour change to either backend must keep the other
+in lockstep or it will fail here first.
+"""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.api import (FaultPlan, RecoveryConfig, ReplicationConfig,
+                       RunConfig)
+from repro.apps import base
+from repro.apps.is_sort import IsParams
+from repro.apps.sor import SorParams
+from repro.apps.water import WaterParams
+from repro.sim.trace import Trace
+from repro.verify import RandomWalkScheduler, RecordingScheduler
+
+NPROCS = 4
+
+#: app name -> params for the matrix (water at the paper's 288 molecules).
+APPS = {
+    "sor": SorParams.tiny(),
+    "is": IsParams.tiny(),
+    "water": WaterParams.bench_288(),
+}
+#: "scabd" = tmk + quorum replication (it has no system string of its own).
+SYSTEMS = ("tmk", "pvm", "ivy", "scabd")
+
+
+def _same(a, b):
+    """Structural bit-equality across ndarrays and nested containers."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(a, b)
+    if isinstance(a, (list, tuple)):
+        return (isinstance(b, (list, tuple)) and len(a) == len(b)
+                and all(_same(x, y) for x, y in zip(a, b)))
+    return a == b
+
+
+def run_one(app, system, params, engine, nprocs=NPROCS, **kw):
+    """One traced run; returns (ParallelResult, Trace)."""
+    trace = Trace(enabled=True)
+    if system == "scabd":
+        kw.setdefault("replication", ReplicationConfig(3))
+        system = "tmk"
+    result = base.run_parallel(app, system, nprocs, params, trace=trace,
+                               engine=engine, **kw)
+    return result, trace
+
+
+def assert_byte_identical(app, system, params, nprocs=NPROCS, **kw):
+    (rt, tt) = run_one(app, system, params, "threads", nprocs, **kw)
+    (rc, tc) = run_one(app, system, params, "coro", nprocs, **kw)
+    # The full protocol trace, event by event, stringified.
+    assert [str(e) for e in tt.events] == [str(e) for e in tc.events]
+    assert tt.dropped_events == tc.dropped_events
+    # Virtual time and wire accounting, bit for bit.
+    assert rt.time == rc.time
+    assert rt.total_messages() == rc.total_messages()
+    assert rt.total_kbytes() == rc.total_kbytes()
+    stats_system = "tmk" if system == "scabd" else system
+    assert rt.stats.by_category(stats_system) == \
+        rc.stats.by_category(stats_system)
+    # The application answer.
+    assert _same(rt.result, rc.result)
+    return rt, rc
+
+
+class TestAppMatrix:
+    """sor / is / water-288 across tmk / pvm / ivy / scabd."""
+
+    @pytest.mark.parametrize("system", SYSTEMS)
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_backends_byte_identical(self, app, system):
+        assert_byte_identical(app, system, APPS[app])
+
+
+class TestFaults:
+    """Byte identity must survive the reliability layer's timers."""
+
+    PLAN = FaultPlan(seed=7, loss=0.05, duplicate=0.05)
+
+    @pytest.mark.parametrize("system", ("tmk", "pvm"))
+    def test_lossy_run_byte_identical(self, system):
+        assert_byte_identical("sor", system, SorParams.tiny(),
+                              faults=self.PLAN)
+
+
+class TestRecovery:
+    def test_rollback_recovery_byte_identical(self):
+        """A client crash, detection, and checkpoint rollback replay
+        identically on both backends."""
+        rt, rc = assert_byte_identical(
+            "sor", "tmk", SorParams.bench(),
+            faults=FaultPlan(crash_at=((1, 1.0),)),
+            recovery=RecoveryConfig(checkpoint_interval=0.2))
+        for r in (rt, rc):
+            assert r.recovery.recoveries == 1
+            assert r.recovery.failed_nodes == [1]
+        assert vars(rt.recovery) == vars(rc.recovery)
+
+    def test_masked_replica_crash_byte_identical(self):
+        """Killing a quorum replica (pid >= nclients) is absorbed without
+        rollback -- identically on both backends."""
+        rt, rc = assert_byte_identical(
+            "sor", "scabd", SorParams.tiny(),
+            faults=FaultPlan(crash_at=((NPROCS, 0.02),)))
+        for r in (rt, rc):
+            assert r.recovery is None
+            assert r.replication.masked_nodes == [NPROCS]
+        assert vars(rt.replication) == vars(rc.replication)
+
+
+class TestSchedulerHook:
+    """The tie-break hook sees the same choice points on both backends."""
+
+    def test_choice_points_identical(self):
+        st, sc = RecordingScheduler(), RecordingScheduler()
+        rt, _ = run_one("sor", "tmk", SorParams.tiny(), "threads",
+                        scheduler=st)
+        rc, _ = run_one("sor", "tmk", SorParams.tiny(), "coro",
+                        scheduler=sc)
+        assert st.counts == sc.counts
+        assert st.trace == sc.trace
+        assert rt.time == rc.time
+
+    def test_random_walk_identical(self):
+        """A non-default schedule perturbs both backends the same way."""
+        wt, wc = RandomWalkScheduler(11), RandomWalkScheduler(11)
+        rt, tt = run_one("is", "tmk", IsParams.tiny(), "threads",
+                         scheduler=wt)
+        rc, tc = run_one("is", "tmk", IsParams.tiny(), "coro",
+                         scheduler=wc)
+        assert wt.trace == wc.trace
+        assert [str(e) for e in tt.events] == [str(e) for e in tc.events]
+        assert rt.time == rc.time
+
+
+class TestRunRecord:
+    """The versioned cache record is engine-agnostic."""
+
+    def test_run_result_bytes_identical(self):
+        rt = api.run(RunConfig("fig01", "tmk", NPROCS, "tiny"),
+                     use_cache=False)
+        rc = api.run(RunConfig("fig01", "tmk", NPROCS, "tiny",
+                               engine="coro"), use_cache=False)
+        assert rt.to_json() == rc.to_json()
+
+    def test_cache_key_ignores_engine(self):
+        """Byte identity means a record computed on either backend can
+        serve requests for the other."""
+        a = RunConfig("fig01", "tmk", NPROCS, "tiny")
+        b = RunConfig("fig01", "tmk", NPROCS, "tiny", engine="coro")
+        assert api.cache_key(a) == api.cache_key(b)
+
+    def test_engine_round_trips_and_validates(self):
+        cfg = RunConfig("fig01", engine="coro")
+        assert RunConfig.from_json(cfg.to_json()) == cfg
+        with pytest.raises(ValueError):
+            RunConfig("fig01", engine="fibers")

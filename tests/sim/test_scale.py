@@ -1,0 +1,101 @@
+"""Scale smoke: the continuation backend past the paper's 8 workstations.
+
+The paper stopped at 8 nodes because that is how many DECstations were
+on the ATM switch; the coro backend exists to ask "what would TreadMarks
+versus PVM look like at 64, 256, 1024?".  These tests pin that the
+machinery actually *works* up there -- results still verify against the
+sequential run, wall-clock stays within a CI budget, and the scalable
+barrier variants remain race-clean -- without asserting anything about
+the (interesting, divergent) virtual times themselves; those live in
+``BENCH_scale.json``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import AnalysisConfig
+from repro.apps import base
+from repro.apps.sor import SorParams
+from repro.tmk.api import TmkConfig
+
+#: Generous per-run wall budget (seconds): a 256-node sor run takes ~2 s
+#: on a developer laptop; 10x headroom keeps slow CI out of the noise.
+BUDGET = 60.0
+
+
+def scale_params(nprocs):
+    """A grid that still gives every processor at least 4 rows."""
+    return SorParams(rows=4 * nprocs, width=96, iterations=4)
+
+
+def run_scaled(system, nprocs, **kw):
+    start = time.monotonic()
+    result = base.run_parallel("sor", system, nprocs, scale_params(nprocs),
+                               engine="coro", **kw)
+    wall = time.monotonic() - start
+    return result, wall
+
+
+def check(result, nprocs):
+    spec = base.get_app("sor")
+    seq = base.run_sequential("sor", scale_params(nprocs))
+    assert spec.verify(result.result, seq.result)
+    assert result.time > 0
+    assert result.total_messages() > 0
+
+
+class TestScaleSmoke:
+    @pytest.mark.parametrize("system", ("tmk", "pvm"))
+    @pytest.mark.parametrize("nprocs", (64, 256))
+    def test_sor_completes_and_verifies(self, system, nprocs):
+        result, wall = run_scaled(system, nprocs)
+        check(result, nprocs)
+        assert wall < BUDGET, (
+            f"sor/{system} at {nprocs} nodes took {wall:.1f}s "
+            f"(budget {BUDGET:.0f}s)")
+
+    def test_tree_barrier_at_scale(self):
+        """The combining tree must still produce a correct answer at a
+        node count where the central manager is the bottleneck."""
+        result, wall = run_scaled(
+            "tmk", 64, tmk_config=TmkConfig(barrier_kind="tree"))
+        check(result, 64)
+        assert wall < BUDGET
+
+    def test_dissemination_barrier_at_scale(self):
+        result, _ = run_scaled(
+            "tmk", 64, tmk_config=TmkConfig(barrier_kind="dissemination"))
+        check(result, 64)
+
+    def test_mcs_locks_at_scale(self):
+        result, _ = run_scaled(
+            "tmk", 64, tmk_config=TmkConfig(lock_kind="mcs"))
+        check(result, 64)
+
+
+class TestBarrierRaceClean:
+    """Strict race checking: the scalable barriers must establish the
+    same happens-before edges as the centralized one."""
+
+    @pytest.mark.parametrize("kind", ("central", "tree", "dissemination"))
+    def test_barrier_race_clean_under_strict(self, kind):
+        result = base.run_parallel(
+            "sor", "tmk", 8, SorParams.tiny(), engine="coro",
+            tmk_config=TmkConfig(barrier_kind=kind),
+            analysis=AnalysisConfig(race_check="strict"))
+        assert result.sanitizer is not None
+        assert not result.sanitizer.findings
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(not os.environ.get("REPRO_SLOW"),
+                    reason="1024-node sweep; set REPRO_SLOW=1 to run")
+class TestThousandNodes:
+    @pytest.mark.parametrize("system", ("tmk", "pvm"))
+    def test_sor_at_1024(self, system):
+        result, wall = run_scaled(system, 1024)
+        check(result, 1024)
+        # ~25 s (tmk) / ~15 s (pvm) measured; cap well above that.
+        assert wall < 300.0
