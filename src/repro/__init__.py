@@ -22,7 +22,7 @@ the same cache.  The layers underneath:
 
 from typing import Any
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The curated public surface.  Everything here is importable directly
 #: from ``repro`` and resolved lazily (PEP 562), so ``import repro``
@@ -35,6 +35,10 @@ __all__ = [
     "sweep_configs",
     "ResultCache",
     "EXPERIMENTS",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "__version__",
 ]
 
@@ -46,6 +50,10 @@ _LAZY = {
     "sweep_configs": ("repro.bench.sweep", "sweep_configs"),
     "ResultCache": ("repro.bench.cache", "ResultCache"),
     "EXPERIMENTS": ("repro.bench.harness", "EXPERIMENTS"),
+    "KernelBackend": ("repro.kernels", "KernelBackend"),
+    "available_backends": ("repro.kernels", "available_backends"),
+    "get_backend": ("repro.kernels", "get_backend"),
+    "register_backend": ("repro.kernels", "register_backend"),
 }
 
 

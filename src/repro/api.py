@@ -143,11 +143,21 @@ class RunConfig:
     #: run-to-block trampoline; required past a few hundred nodes).  The
     #: two are byte-identical, so the cache key deliberately ignores this.
     engine: str = "threads"
+    #: Page-ops kernel backend: ``"pure"`` (reference), ``"numpy"``
+    #: (vectorized default), or ``"compiled"`` (C extension; falls back
+    #: to numpy when unbuilt).  All backends are byte-identical
+    #: (enforced by tests/kernels/), so the cache key ignores this too.
+    kernels: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.engine not in ("threads", "coro"):
             raise ValueError(
                 f"engine must be 'threads' or 'coro', got {self.engine!r}")
+        from repro.kernels import KERNEL_CHOICES
+        if self.kernels not in KERNEL_CHOICES:
+            raise ValueError(
+                f"kernels must be one of {KERNEL_CHOICES}, "
+                f"got {self.kernels!r}")
         if self.system not in _SYSTEMS:
             raise ValueError(
                 f"system must be one of {_SYSTEMS}, got {self.system!r}")
@@ -187,6 +197,7 @@ class RunConfig:
             "replication": _jsonify(self.replication),
             "invariants": self.invariants,
             "engine": self.engine,
+            "kernels": self.kernels,
         }
 
     @classmethod
@@ -207,6 +218,7 @@ class RunConfig:
                                              data.get("replication")),
             invariants=bool(data.get("invariants", False)),
             engine=data.get("engine", "threads"),
+            kernels=data.get("kernels", "numpy"),
         )
 
 
@@ -343,6 +355,10 @@ def cache_key(config: RunConfig) -> str:
     # tests/sim/test_engine_equivalence.py), so a record computed on one
     # backend serves requests for the other.
     config_material.pop("engine", None)
+    # Same for the kernel backends: every backend computes identical
+    # diffs (enforced by tests/kernels/), so the choice is a host-side
+    # speed knob, not part of the run's identity.
+    config_material.pop("kernels", None)
     material = {
         "kind": "run",
         "schema_version": RESULT_SCHEMA_VERSION,
@@ -411,7 +427,7 @@ def _execute(config: RunConfig, store: Optional[ResultCache],
         faults=config.faults, analysis=config.analysis,
         recovery=config.recovery, obs=config.obs, cost=config.cost,
         replication=config.replication, invariants=config.invariants,
-        engine=config.engine)
+        engine=config.engine, kernels=config.kernels)
     seq = harness.seq_time(config.experiment, config.preset)
     recovery = None
     if par.recovery is not None:

@@ -186,7 +186,8 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
                  replication: Optional[ReplicationConfig] = None,
                  scheduler: Optional[Any] = None,
                  invariants: bool = False,
-                 engine: str = "threads") -> ParallelResult:
+                 engine: str = "threads",
+                 kernels: str = "numpy") -> ParallelResult:
     """Run one application on a fresh simulated cluster.
 
     ``system`` is ``"tmk"``, ``"pvm"``, or ``"ivy"`` (the sequentially-
@@ -231,6 +232,12 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
     thread per simulated processor, the historical default) or ``"coro"``
     (cooperative continuations on one host thread -- required past a few
     hundred simulated processors).  Both produce byte-identical results.
+
+    ``kernels`` selects the page-ops kernel backend (``"pure"``,
+    ``"numpy"``, or ``"compiled"``; see ``repro.kernels``).  Like the
+    engine, it is a host-side execution detail: every backend computes
+    byte-identical diffs, so results, traffic, and virtual times do not
+    depend on it.
     """
     spec = get_app(app) if isinstance(app, str) else app
     if system not in ("tmk", "pvm", "ivy"):
@@ -261,7 +268,7 @@ def run_parallel(app: AppSpec | str, system: str, nprocs: int, params: Any,
         total_procs = nprocs + (replication.replicas if mask else 0)
         cluster = Cluster(total_procs, config=ClusterConfig(
             cost=cost, trace=trace, faults=plan, recovery=recovery, obs=obs,
-            scheduler=scheduler, engine=engine))
+            scheduler=scheduler, engine=engine, kernels=kernels))
         sanitizer = None
         scabd_system = None
         if mask:

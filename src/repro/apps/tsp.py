@@ -281,7 +281,7 @@ def recursive_solve(dist: np.ndarray, path: List[int], cost: int,
     win = int(np.argmin(costs))
     nodes = perms.shape[0]
     if int(costs[win]) < best:
-        return int(costs[win]), list(path) + [int(c) for c in seqs[win]], nodes
+        return int(costs[win]), list(path) + seqs[win].tolist(), nodes
     return best, None, nodes
 
 
@@ -367,8 +367,13 @@ class _SharedTourState:
             return None
         entries = yield from self.queue.read_g(
             (slice(1, size + 1), slice(None)))
-        idx = int(np.lexsort((entries[:, 1], entries[:, 0]))[0])
-        key, slot = (int(v) for v in entries[idx])
+        col0 = entries[:, 0]
+        cand = np.flatnonzero(col0 == col0.min())
+        if cand.size == 1:
+            idx = int(cand[0])
+        else:  # ties on the packed key: lowest slot-column, then row order
+            idx = int(cand[int(np.argmin(entries[cand, 1]))])
+        key, slot = entries[idx].tolist()
         last = entries[size - 1]
         if idx != size - 1:
             yield from self.queue.write_g(
@@ -381,7 +386,7 @@ class _SharedTourState:
             (slice(slot, slot + 1), slice(None)))
         row = row.reshape(-1)
         length, cost = int(row[0]), int(row[1])
-        return list(int(v) for v in row[2: 2 + length]), cost
+        return row[2: 2 + length].tolist(), cost
 
     def free_slot_g(self, slot: int):
         count = yield from self.stack.get_g(0)

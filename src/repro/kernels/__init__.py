@@ -1,0 +1,88 @@
+"""repro.kernels -- pluggable page-op kernels behind a frozen interface.
+
+The DSM hot path (diff creation, diff application, twin comparison,
+fault checks) is expressed as six pure functions over raw byte buffers
+(:mod:`repro.kernels.interface`).  Three backends implement them:
+
+- ``pure``     -- the pure-Python reference; canonical semantics.
+- ``numpy``    -- vectorized; the default.
+- ``compiled`` -- optional C extension; falls back to ``numpy`` when the
+  extension has not been built (``tools/build_kernels.py`` builds it).
+
+Backend choice is a host-side optimization only: every backend is
+byte-identical to ``pure`` (asserted by ``tests/kernels``), so simulated
+results, golden traces, and cache keys never depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.kernels import numpy_backend, pure
+from repro.kernels.interface import RUN_HEADER_BYTES, WORD, KernelBackend, Runs
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "KernelBackend",
+    "RUN_HEADER_BYTES",
+    "Runs",
+    "WORD",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: Names accepted by ``RunConfig.kernels`` / ``--kernels``.
+KERNEL_CHOICES: Tuple[str, ...] = ("pure", "numpy", "compiled")
+
+#: The backend used when nothing is specified.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: Dict[str, KernelBackend] = {
+    "pure": pure.BACKEND,
+    "numpy": numpy_backend.BACKEND,
+}
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> KernelBackend:
+    """Resolve a backend by name.
+
+    ``compiled`` falls back to ``numpy`` when the extension is unbuilt,
+    so requesting it is always safe; any other unknown name raises.
+    """
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    if name == "compiled":
+        from repro.kernels import compiled
+
+        if compiled.BACKEND is not None:
+            _REGISTRY["compiled"] = compiled.BACKEND
+            return compiled.BACKEND
+        return _REGISTRY["numpy"]
+    raise ValueError(
+        f"unknown kernels backend {name!r}; choose from {sorted(available_backends())}"
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names that :func:`get_backend` accepts right now.
+
+    ``compiled`` is always listed (it resolves to ``numpy`` if unbuilt),
+    plus anything added via :func:`register_backend`.
+    """
+    names = set(_REGISTRY) | set(KERNEL_CHOICES)
+    return tuple(sorted(names))
+
+
+def register_backend(backend: KernelBackend) -> None:
+    """Register a custom backend under ``backend.name``.
+
+    Re-registering a built-in name is rejected; custom backends are
+    subject to the same byte-identity contract as the built-ins.
+    """
+    if not isinstance(backend, KernelBackend):
+        raise TypeError("register_backend expects a KernelBackend")
+    if backend.name in ("pure", "numpy", "compiled"):
+        raise ValueError(f"cannot replace built-in backend {backend.name!r}")
+    _REGISTRY[backend.name] = backend

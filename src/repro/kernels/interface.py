@@ -1,0 +1,66 @@
+"""The frozen kernel interface: pure functions over raw page buffers.
+
+A *kernel backend* supplies the handful of byte-level operations every
+page-based DSM runtime in this repo is built on.  The contract is frozen
+so backends are interchangeable and independently testable:
+
+``make_diff(current, twin) -> runs``
+    Word-granular run detection: compare two equally-sized uint8 buffers
+    (length a multiple of :data:`WORD`) and return a tuple of
+    ``(byte_offset, replacement_bytes)`` runs.  A run covers every word
+    that changed, extended to word boundaries, with adjacent changed
+    words merged.  Equal buffers return ``()``.
+
+``make_diff_batch(currents, twins) -> [runs, ...]``
+    Semantically ``[make_diff(c, t) for c, t in zip(currents, twins)]``
+    over equally-sized pages; backends may amortize the comparison.
+
+``apply_diff(page_view, runs) -> int``
+    Patch a writable uint8 buffer in place; returns bytes written.
+
+``apply_diff_batch(page_view, runs_list) -> int``
+    Apply several diffs in list order to one buffer; returns total bytes.
+
+``twin_compare(current, twin) -> bool``
+    ``True`` when the buffers are byte-identical (the page is clean).
+
+``fault_scan(valid, lo, hi) -> [page, ...]``
+    Indices ``p`` in ``[lo, hi)`` with ``valid[p]`` falsy, ascending.
+    ``valid`` is a byte-per-page table (``bytearray`` in practice).
+
+Inputs are validated by the callers (:mod:`repro.tmk.diffs` keeps the
+historical error messages); kernels may assume the preconditions hold.
+Every backend must be byte-identical to the ``pure`` reference --
+``tests/kernels`` asserts this property over random contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+__all__ = ["KernelBackend", "RUN_HEADER_BYTES", "WORD", "Runs"]
+
+#: Comparison granularity in bytes (one PA-RISC word).
+WORD = 4
+#: Bytes of run header (offset + length) counted per run on the wire.
+RUN_HEADER_BYTES = 8
+
+#: One diff's payload: ((byte offset, replacement bytes), ...).
+Runs = Tuple[Tuple[int, bytes], ...]
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One interchangeable implementation of the page-ops contract."""
+
+    name: str
+    make_diff: Callable[..., Runs]
+    make_diff_batch: Callable[[Sequence, Sequence], List[Runs]]
+    apply_diff: Callable[..., int]
+    apply_diff_batch: Callable[..., int]
+    twin_compare: Callable[..., bool]
+    fault_scan: Callable[..., List[int]]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<KernelBackend {self.name!r}>"

@@ -1,0 +1,84 @@
+"""The pure-Python reference backend.
+
+This is the canonical statement of what every kernel must compute: no
+numpy in the logic, just bytes and loops.  It is deliberately simple --
+the ``numpy`` and ``compiled`` backends are proven byte-identical to it
+by the property suite in ``tests/kernels``, so any question about edge
+cases ("what does a run at the page's last word look like?") is settled
+by reading this file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.kernels.interface import WORD, KernelBackend, Runs
+
+__all__ = ["BACKEND"]
+
+
+def _as_bytes(buf) -> bytes:
+    return bytes(memoryview(buf).cast("B"))
+
+
+def make_diff(current, twin) -> Runs:
+    cur = _as_bytes(current)
+    tw = _as_bytes(twin)
+    if cur == tw:
+        return ()
+    runs = []
+    start = None
+    for off in range(0, len(cur), WORD):
+        if cur[off:off + WORD] != tw[off:off + WORD]:
+            if start is None:
+                start = off
+        elif start is not None:
+            runs.append((start, cur[start:off]))
+            start = None
+    if start is not None:
+        runs.append((start, cur[start:]))
+    return tuple(runs)
+
+
+def make_diff_batch(currents: Sequence, twins: Sequence) -> List[Runs]:
+    return [make_diff(c, t) for c, t in zip(currents, twins)]
+
+
+def apply_diff(page_view, runs: Runs) -> int:
+    view = memoryview(page_view).cast("B")
+    written = 0
+    for offset, data in runs:
+        n = len(data)
+        view[offset: offset + n] = data
+        written += n
+    return written
+
+
+def apply_diff_batch(page_view, runs_list: Sequence[Runs]) -> int:
+    view = memoryview(page_view).cast("B")
+    written = 0
+    for runs in runs_list:
+        for offset, data in runs:
+            n = len(data)
+            view[offset: offset + n] = data
+            written += n
+    return written
+
+
+def twin_compare(current, twin) -> bool:
+    return _as_bytes(current) == _as_bytes(twin)
+
+
+def fault_scan(valid, lo: int, hi: int) -> List[int]:
+    return [page for page in range(lo, hi) if not valid[page]]
+
+
+BACKEND = KernelBackend(
+    name="pure",
+    make_diff=make_diff,
+    make_diff_batch=make_diff_batch,
+    apply_diff=apply_diff,
+    apply_diff_batch=apply_diff_batch,
+    twin_compare=twin_compare,
+    fault_scan=fault_scan,
+)

@@ -243,38 +243,36 @@ class ClusterConfig:
     #: historical default) or ``"coro"`` (generator continuations; scales
     #: to thousands of processors).  Semantics are byte-identical.
     engine: str = "threads"
+    #: Page-op kernel backend (``repro.kernels``): ``"pure"``, ``"numpy"``
+    #: (default), or ``"compiled"`` (falls back to numpy when unbuilt).
+    #: Host-side speed only; every backend is byte-identical.
+    kernels: str = "numpy"
 
 
 class Cluster:
     """``nprocs`` simulated workstations on one FDDI ring.
 
-    Construct with ``Cluster(nprocs, config=ClusterConfig(...))``.  The
-    older spelling -- passing ``cost=``/``trace=``/``faults=`` directly --
-    still works but is deprecated; it predates :class:`ClusterConfig`
-    (and the :func:`repro.api.run` facade most callers want instead).
+    Construct with ``Cluster(nprocs, config=ClusterConfig(...))``.  (The
+    pre-:class:`ClusterConfig` spelling -- ``cost=``/``trace=``/``faults=``
+    passed directly -- was deprecated in v1.1 and has been removed; most
+    callers want the :func:`repro.api.run` facade anyway.)
     """
 
-    def __init__(self, nprocs: int, cost: Optional[CostModel] = None,
-                 trace: Optional[Trace] = None,
-                 faults: Optional[FaultPlan] = None,
+    def __init__(self, nprocs: int,
                  config: Optional[ClusterConfig] = None) -> None:
         if nprocs < 1:
             raise ValueError("need at least one processor")
         if config is None:
-            if cost is not None or trace is not None or faults is not None:
-                import warnings
-                warnings.warn(
-                    "Cluster(nprocs, cost=..., trace=..., faults=...) is "
-                    "deprecated; pass Cluster(nprocs, config="
-                    "ClusterConfig(...)) -- or use repro.api.run()",
-                    DeprecationWarning, stacklevel=2)
-            config = ClusterConfig(cost=cost, trace=trace, faults=faults)
+            config = ClusterConfig()
         self.config = config
         self.nprocs = nprocs
         self.cost = (config.cost if config.cost is not None
                      else CostModel.paper_testbed())
         self.trace = config.trace if config.trace is not None else Trace()
         self.faults = config.faults
+        #: Resolved page-op kernel backend shared by every processor.
+        from repro.kernels import get_backend
+        self.kernels = get_backend(config.kernels)
         self.engine = Engine(watchdog_events=config.watchdog_events,
                              scheduler=config.scheduler,
                              backend=config.engine)

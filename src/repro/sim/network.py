@@ -72,9 +72,15 @@ CAT_DUP = "dup_suppress"
 CAT_ACK = "ack"
 
 
-@dataclass
+@dataclass(slots=True)
 class Delivery:
-    """One message as seen by the destination processor."""
+    """One message as seen by the destination processor.
+
+    ``slots=True``: one Delivery exists per simulated datagram, making
+    this the most-allocated record in the simulator; slots cut both the
+    per-instance memory and the attribute-access cost on the hot
+    deliver/handle path.
+    """
 
     src: int
     dst: int
@@ -142,7 +148,7 @@ class Link:
         return min(1.0, ratio)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingSend:
     """Sender-side state for one unacknowledged reliable datagram."""
 
@@ -423,26 +429,33 @@ class UdpChannel:
             return self.net.reliable_udp_send(self.system, src, dst,
                                               category, payload, nbytes,
                                               t_ready)
-        cost = self.net.cost
+        net = self.net
+        cost = net.cost
         remaining = max(nbytes, 0)
         fragments = cost.udp_fragments(nbytes)
-        t = t_ready
-        last_arrival = 0.0
-        for _ in range(fragments):
-            chunk = min(remaining, cost.udp_mtu) if remaining else 0
-            remaining -= chunk
-            t += cost.udp_send_cpu + cost.copy_cost(chunk)
-            arrival = self.net.link.transmit(t, chunk + cost.udp_header_bytes)
-            last_arrival = max(last_arrival, arrival)
+        if fragments == 1:
+            # Fast path: almost every TreadMarks message fits one MTU.
+            t = t_ready + cost.udp_send_cpu + cost.copy_cost(remaining)
+            last_arrival = net.link.transmit(
+                t, remaining + cost.udp_header_bytes)
+        else:
+            t = t_ready
+            last_arrival = 0.0
+            for _ in range(fragments):
+                chunk = min(remaining, cost.udp_mtu) if remaining else 0
+                remaining -= chunk
+                t += cost.udp_send_cpu + cost.copy_cost(chunk)
+                arrival = net.link.transmit(t, chunk + cost.udp_header_bytes)
+                last_arrival = max(last_arrival, arrival)
         wire_bytes = nbytes + fragments * cost.udp_header_bytes
-        self.net.stats.record(self.system, category,
-                              messages=fragments, nbytes=wire_bytes,
-                              src=src, dst=dst)
-        obs = self.net.obs
+        net.stats.record(self.system, category,
+                         messages=fragments, nbytes=wire_bytes,
+                         src=src, dst=dst)
+        obs = net.obs
         if obs is not None:
             obs.wire(t_ready, last_arrival - t_ready, src,
                      f"{category}->P{dst} {nbytes}B")
-        self.net._post_delivery(Delivery(
+        net._post_delivery(Delivery(
             src=src, dst=dst, category=category, payload=payload,
             user_bytes=nbytes, arrival=last_arrival,
             recv_cpu=fragments * cost.udp_recv_cpu + cost.copy_cost(nbytes)))

@@ -18,18 +18,21 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, NamedTuple, Tuple
 
 __all__ = ["StatKey", "Counter", "MessageStats"]
 
 
-@dataclass(frozen=True)
-class StatKey:
+class StatKey(NamedTuple):
     """Identifies one accounting bucket.
 
     ``system`` is ``"tmk"`` or ``"pvm"``; ``category`` names the protocol
     mechanism (``"barrier"``, ``"lock"``, ``"diff_request"``,
     ``"diff_response"``, ``"user_data"``, ...).
+
+    A NamedTuple rather than a dataclass: one is constructed and hashed
+    per recorded transmission, and tuple construction/hashing is several
+    times cheaper than the dataclass equivalents.
     """
 
     system: str

@@ -74,13 +74,20 @@ class LrcCore:
         self.cost = proc.cluster.cost
         self.pt = PageTable(system.config.segment_bytes, self.cost.page_size)
         self.udp = UdpChannel(proc.cluster.net, system="tmk")
+        #: The page-op kernel backend (repro.kernels); host-side speed
+        #: only -- every backend is byte-identical to the pure reference.
+        self.kernels = proc.cluster.kernels
+        self._trace = proc.cluster.trace
 
         #: Vector time: ``vc[p]`` = number of closed intervals of p this
         #: processor has seen (own entry: number of own closed intervals).
         self.vc: List[int] = [0] * self.nprocs
         self.known: Dict[IntervalId, IntervalRecord] = {}
-        #: Per-creator records in seq order (for records_since).
+        #: Per-creator records in seq order (for records_since), plus the
+        #: parallel seq vectors so records_since can bisect without
+        #: rebuilding a key list per call (it runs at every acquire).
         self._by_creator: List[List[IntervalRecord]] = [[] for _ in range(self.nprocs)]
+        self._seqs: List[List[int]] = [[] for _ in range(self.nprocs)]
         #: page -> {interval id -> record} awaiting a diff fetch.
         self.pending: Dict[int, Dict[IntervalId, IntervalRecord]] = {}
         #: (interval id, page) -> diff, never evicted (TreadMarks GC elided).
@@ -125,9 +132,10 @@ class LrcCore:
         if not dirty:
             return None
         seq = self.vc[self.pid]
-        # One stacked comparison for the whole interval's dirty pages.
+        # One batched comparison for the whole interval's dirty pages.
         diffs = make_diffs(dirty, [self.pt.page_view(p) for p in dirty],
-                           [self.pt.twin(p) for p in dirty])
+                           [self.pt.twin(p) for p in dirty],
+                           backend=self.kernels)
         for page, diff in zip(dirty, diffs):
             self.pt.drop_twin(page)
             self.diff_cache[((self.pid, seq), page)] = diff
@@ -144,8 +152,10 @@ class LrcCore:
                                            self.proc.now)
         self.known[record.id] = record
         self._by_creator[self.pid].append(record)
+        self._seqs[self.pid].append(record.seq)
         self.vc[self.pid] = seq + 1
-        self.proc.trace("interval_close", f"seq={seq} pages={list(dirty)}")
+        if self._trace.enabled:
+            self.proc.trace("interval_close", f"seq={seq} pages={list(dirty)}")
         obs = self.proc.obs
         if obs is not None:
             obs.instant(self.proc.now, self.pid, "interval_close",
@@ -178,18 +188,20 @@ class LrcCore:
         record = notice.record
         service = delivery.recv_cpu + self.cost.interrupt_cpu
         self.proc.charge_service(service)
-        if record.id in self.known:
+        rid = (record.creator, record.seq)
+        if rid in self.known:
             return
-        self.known[record.id] = record
+        self.known[rid] = record
         creator_list = self._by_creator[record.creator]
         if creator_list and record.seq <= creator_list[-1].seq:
             raise AssertionError(
-                f"P{self.pid}: out-of-order eager notice {record.id}")
+                f"P{self.pid}: out-of-order eager notice {rid}")
         creator_list.append(record)
+        self._seqs[record.creator].append(record.seq)
         for page in record.pages:
             if self.pt.is_valid(page):
                 self.pt.invalidate(page, allow_dirty=True)
-            self.pending.setdefault(page, {})[record.id] = record
+            self.pending.setdefault(page, {})[rid] = record
         # Only the sender's own entry advances: per-pair FIFO guarantees
         # we hold all of its earlier records; third-party knowledge still
         # flows through synchronization.
@@ -204,8 +216,7 @@ class LrcCore:
             if not records:
                 continue
             # Records are stored in seq order; find the first unseen one.
-            seqs = [r.seq for r in records]
-            start = bisect.bisect_left(seqs, their_vc[creator])
+            start = bisect.bisect_left(self._seqs[creator], their_vc[creator])
             out.extend(records[start:])
         return out
 
@@ -228,20 +239,23 @@ class LrcCore:
         vc_before = tuple(self.vc)
         touched_pages = set()
         for record in sorted(records, key=lambda r: r.seq):
-            if record.id in self.known:
+            creator, seq = record.creator, record.seq
+            rid = (creator, seq)
+            if rid in self.known:
                 continue
-            self.known[record.id] = record
-            creator_list = self._by_creator[record.creator]
-            if creator_list and record.seq <= creator_list[-1].seq:
+            self.known[rid] = record
+            creator_list = self._by_creator[creator]
+            if creator_list and seq <= creator_list[-1].seq:
                 raise AssertionError(
-                    f"P{self.pid}: out-of-order interval record {record.id}")
+                    f"P{self.pid}: out-of-order interval record {rid}")
             creator_list.append(record)
-            if record.creator == self.pid:
+            self._seqs[creator].append(seq)
+            if creator == self.pid:
                 continue
             for page in record.pages:
                 if self.pt.is_valid(page):
                     self.pt.invalidate(page, allow_dirty=self.eager)
-                self.pending.setdefault(page, {})[record.id] = record
+                self.pending.setdefault(page, {})[rid] = record
                 touched_pages.add(page)
         self.vc = list(vc_max(self.vc, their_vc))
         if self.monitor is not None:
@@ -263,13 +277,14 @@ class LrcCore:
             if not set(needed).issubset(available):
                 continue  # some writer's diff missing: fault later
             view = self.pt.page_view(page)
+            apply_diff = self.kernels.apply_diff
             cpu = 0.0
             for iid in sorted(needed,
                               key=lambda i: (needed[i].vc, i[0])):
                 diff = available[iid]
-                diff.apply(view)
+                apply_diff(view, diff.runs)
                 if self.pt.has_twin(page):
-                    diff.apply(self.pt.twin(page))
+                    apply_diff(self.pt.twin(page), diff.runs)
                 self.diff_cache[(iid, page)] = diff
                 self.diffs_applied += 1
                 self.diff_bytes_applied += diff.data_bytes
@@ -287,11 +302,49 @@ class LrcCore:
             del self.pending[page]
             self.pt.validate(page)
             self.piggyback_hits += 1
-            self.proc.trace("piggyback_apply", f"page={page}")
+            if self._trace.enabled:
+                self.proc.trace("piggyback_apply", f"page={page}")
 
     # ------------------------------------------------------------------
     # Access faults
     # ------------------------------------------------------------------
+    def runs_all_valid(self, runs) -> bool:
+        """Synchronous fast check: every page of every run readable now.
+
+        When this returns True the access needs no faults, so callers can
+        skip the generator path entirely -- no yields happen between this
+        check and the access under cooperative scheduling.
+        """
+        pt = self.pt
+        valid = pt.valid
+        psize = pt.page_size
+        for start, nbytes in runs:
+            if nbytes <= 0:
+                continue
+            first = start // psize
+            last = (start + nbytes - 1) // psize
+            if first == last:  # the overwhelmingly common case
+                if not valid[first]:
+                    return False
+            elif self.kernels.fault_scan(valid, first, last + 1):
+                return False
+        return True
+
+    def runs_all_writable(self, runs) -> bool:
+        """Synchronous fast check: every page readable *and* twinned."""
+        pt = self.pt
+        valid = pt.valid
+        twins = pt._twins
+        psize = pt.page_size
+        for start, nbytes in runs:
+            if nbytes <= 0:
+                continue
+            for page in range(start // psize,
+                              (start + nbytes - 1) // psize + 1):
+                if not valid[page] or page not in twins:
+                    return False
+        return True
+
     def ensure_valid_runs(self, runs) -> None:
         """Validate every page the access touches (LRC pages are never
         stolen, so run-by-run handling is race-free)."""
@@ -312,8 +365,20 @@ class LrcCore:
         return self.proc.drive(self.ensure_valid_range_g(start, nbytes))
 
     def ensure_valid_range_g(self, start: int, nbytes: int):
-        for page in self.pt.pages_for_range(start, nbytes):
-            if not self.pt.is_valid(page):
+        pt = self.pt
+        if nbytes <= 0:
+            return
+        first = start // pt.page_size
+        last = (start + nbytes - 1) // pt.page_size
+        # Fast path: one kernel scan instead of a per-page Python loop.
+        # Only the all-valid outcome may short-circuit -- once a fault
+        # yields, eager-RC notices can invalidate *later* pages of the
+        # range while we wait, so the slow path re-checks each page.
+        if not self.kernels.fault_scan(pt.valid, first, last + 1):
+            return
+        valid = pt.valid
+        for page in range(first, last + 1):
+            if not valid[page]:
                 yield from self._fault_g(page)
 
     def ensure_writable_range(self, start: int, nbytes: int) -> None:
@@ -321,10 +386,12 @@ class LrcCore:
         return self.proc.drive(self.ensure_writable_range_g(start, nbytes))
 
     def ensure_writable_range_g(self, start: int, nbytes: int):
-        for page in self.pt.pages_for_range(start, nbytes):
-            if not self.pt.is_valid(page):
+        pt = self.pt
+        valid = pt.valid
+        for page in pt.pages_for_range(start, nbytes):
+            if not valid[page]:
                 yield from self._fault_g(page)
-            if not self.pt.has_twin(page):
+            if not pt.has_twin(page):
                 obs = self.proc.obs
                 if obs is not None:
                     obs.begin(self.proc.now, self.pid, "twin", B_PROTOCOL,
@@ -366,7 +433,8 @@ class LrcCore:
         proc = self.proc
         obs = proc.obs
         needed = self.pending.pop(page)
-        proc.trace("page_fault", f"page={page} intervals={sorted(needed)}")
+        if self._trace.enabled:
+            proc.trace("page_fault", f"page={page} intervals={sorted(needed)}")
         if obs is not None:
             obs.begin(proc.now, self.pid, "diff_request", B_STALL_DATA,
                       f"page={page} intervals={len(needed)}")
@@ -383,7 +451,9 @@ class LrcCore:
         else:
             assignment = dominant_writers(needed)
         boxes = []
-        for writer in sorted(assignment):
+        writers = (assignment if len(assignment) == 1
+                   else sorted(assignment))
+        for writer in writers:
             wanted = assignment[writer]
             box = proc.mailbox()
             box.waiting_on = f"P{writer} (diff holder)"
@@ -433,16 +503,18 @@ class LrcCore:
 
         view = self.pt.page_view(page)
         has_twin = self.pt.has_twin(page)
+        apply_diff = self.kernels.apply_diff
         cpu = 0.0
         # Apply in an order consistent with happens-before.
-        for iid in sorted(entries,
-                          key=lambda i: (entries[i][0], i[0])):
+        order = (entries if len(entries) == 1
+                 else sorted(entries, key=lambda i: (entries[i][0], i[0])))
+        for iid in order:
             ivc, diff = entries[iid]
-            diff.apply(view)
+            apply_diff(view, diff.runs)
             if has_twin:
                 # Eager RC can invalidate a dirty page; patching the twin
                 # too keeps the eventual local diff free of remote words.
-                diff.apply(self.pt.twin(page))
+                apply_diff(self.pt.twin(page), diff.runs)
             self.diff_cache[(iid, page)] = diff
             self.diffs_applied += 1
             self.diff_bytes_applied += diff.data_bytes
@@ -489,7 +561,9 @@ class LrcCore:
                 if record.seq < floor[creator]:
                     self.known.pop(record.id, None)
             self._by_creator[creator] = kept
-        self.proc.trace("gc", f"dropped {len(dead)} diffs, floor={floor}")
+            self._seqs[creator] = [r.seq for r in kept]
+        if self._trace.enabled:
+            self.proc.trace("gc", f"dropped {len(dead)} diffs, floor={floor}")
         return len(dead)
 
     # ------------------------------------------------------------------
@@ -533,9 +607,10 @@ class LrcCore:
             obs.serve(delivery.arrival, t_free - delivery.arrival, self.pid,
                       "serve_diff",
                       f"page={request.page} to=P{request.requester}")
-        self.proc.trace("diff_served",
-                        f"page={request.page} to=P{request.requester} "
-                        f"ndiffs={len(entries)}")
+        if self._trace.enabled:
+            self.proc.trace("diff_served",
+                            f"page={request.page} to=P{request.requester} "
+                            f"ndiffs={len(entries)}")
 
     def _on_diff_response(self, delivery: Delivery) -> None:
         box, response = delivery.payload

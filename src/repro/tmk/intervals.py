@@ -104,12 +104,22 @@ def dominant_writers(
     """
     if not needed:
         return {}
+    if len(needed) == 1:
+        # One needed interval: its creator is trivially the only
+        # (dominant) writer.  The general path below reduces to this.
+        (iid,) = needed
+        return {iid[0]: [iid]}
     # Latest needed interval per writer.
     latest: Dict[int, IntervalRecord] = {}
     for record in needed.values():
         cur = latest.get(record.creator)
         if cur is None or record.seq > cur.seq:
             latest[record.creator] = record
+    if len(latest) == 1:
+        # Single writer: it trivially dominates and covers everything
+        # (a creator always holds its own diffs).
+        (w,) = latest
+        return {w: sorted(needed)}
     # Drop writers whose latest interval precedes another writer's latest.
     writers = sorted(latest)
     chosen: List[int] = []

@@ -12,11 +12,19 @@ per-page state:
 In real TreadMarks this state machine is driven by mprotect + SIGSEGV; here
 the :mod:`repro.tmk.sharedmem` accessors consult it in software.  The state
 transitions and their costs are identical.
+
+Validity is a ``bytearray`` (one byte per page): indexing it is a plain
+``list``-style C operation, several times cheaper than the numpy bool
+array it replaced for the one-page lookups that dominate the fault-check
+path, and it doubles as the buffer the kernel ``fault_scan`` reads.
+Page views are materialized once and reused -- ``page_view`` is called
+for every diff made and applied, and numpy slice construction was
+measurable in profiles.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -33,13 +41,22 @@ class PageTable:
         self.npages = size_bytes // page_size
         #: The processor's private copy of the shared segment.
         self.mem = np.zeros(size_bytes, dtype=np.uint8)
-        self._valid = np.ones(self.npages, dtype=bool)
+        #: One byte per page; truthy = readable.  Kernel ``fault_scan``
+        #: consumes this buffer directly.
+        self.valid = bytearray(b"\x01" * self.npages)
+        # Page views materialize lazily: big segments touch a small
+        # working set, and building thousands of slice views up front
+        # shows up in the per-run setup cost.
+        self._views: List[Optional[np.ndarray]] = [None] * self.npages
         self._twins: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def page_view(self, page: int) -> np.ndarray:
-        start = page * self.page_size
-        return self.mem[start: start + self.page_size]
+        view = self._views[page]
+        if view is None:
+            ps = self.page_size
+            view = self._views[page] = self.mem[page * ps: (page + 1) * ps]
+        return view
 
     def pages_for_range(self, start: int, nbytes: int) -> range:
         """Pages overlapped by the byte range [start, start+nbytes)."""
@@ -51,7 +68,7 @@ class PageTable:
 
     # ------------------------------------------------------------------
     def is_valid(self, page: int) -> bool:
-        return bool(self._valid[page])
+        return bool(self.valid[page])
 
     def invalidate(self, page: int, allow_dirty: bool = False) -> None:
         """Mark a page not-readable.
@@ -66,10 +83,10 @@ class PageTable:
             raise AssertionError(
                 f"invalidating dirty page {page}: interval must close before "
                 "write notices are processed")
-        self._valid[page] = False
+        self.valid[page] = 0
 
     def validate(self, page: int) -> None:
-        self._valid[page] = True
+        self.valid[page] = 1
 
     # ------------------------------------------------------------------
     def has_twin(self, page: int) -> bool:
@@ -91,4 +108,4 @@ class PageTable:
 
     # ------------------------------------------------------------------
     def invalid_pages(self) -> Set[int]:
-        return set(np.flatnonzero(~self._valid))
+        return {page for page, ok in enumerate(self.valid) if not ok}

@@ -95,19 +95,36 @@ class SharedArray:
         mem = tmk.core.pt.mem
         self._view = mem[addr: addr + self.nbytes].view(self.dtype).reshape(self.shape)
         self._base_ptr = self._view.__array_interface__["data"][0]
+        # Precomputed geometry for the arithmetic fast paths in
+        # _touched_runs (the view is always C-contiguous).
+        self._ndim = len(self.shape)
+        self._itemsize = self.dtype.itemsize
+        self._row_bytes = (self._view.strides[0] if self._ndim
+                           else self._itemsize)
+        # Per-core capability lookups (runs_all_valid etc.) memoized on
+        # the core object's identity -- the core never changes mid-run,
+        # but the sanitizer can attach later, so that one stays dynamic.
+        self._core_caps: Tuple[Any, ...] = (None, None, None, False)
 
     # ------------------------------------------------------------------
     @staticmethod
     def _normalize(key: Any) -> Any:
         """Turn integer indices into 1-length slices so selections are
         always ndarrays (byte ranges are computed from the selection)."""
+        tkey = type(key)
+        if tkey is slice:
+            return key
+        if tkey is int:
+            if key == -1:
+                return slice(-1, None)
+            return slice(key, key + 1)
+        if tkey is tuple:
+            return tuple(SharedArray._normalize(k) for k in key)
         if isinstance(key, (int, np.integer)):
             k = int(key)
             if k == -1:
                 return slice(k, None)
             return slice(k, k + 1)
-        if isinstance(key, tuple):
-            return tuple(SharedArray._normalize(k) for k in key)
         return key
 
     def _touched_runs(self, key: Any) -> list:
@@ -119,6 +136,60 @@ class SharedArray:
         transpose-style strided write touches only the pages holding its
         own slices -- which is what determines the fault and twin pattern.
         """
+        # Arithmetic fast paths for the overwhelmingly common selections
+        # (raw ints and unit-step slices): no slice objects are
+        # normalized, no numpy sub-view is materialized, and no
+        # __array_interface__ dict is built -- all three were top entries
+        # in the access-path profile.  Byte runs are identical to what
+        # the general path below computes.  Raw keys are accepted (this
+        # is what _read_g/write_g pass); anything the fast paths do not
+        # recognize is normalized and handled generally.
+        tkey = type(key)
+        if tkey is int:
+            if 0 <= key and self._ndim:
+                # One first-axis element: spans exactly one row's bytes
+                # (C-contiguous view), whatever the remaining dims are.
+                row = self._row_bytes
+                return [(self.addr + key * row, row)]
+        elif tkey is slice:
+            if (key.step is None or key.step == 1) and self._ndim:
+                start, stop, _ = key.indices(self.shape[0])
+                if stop <= start:
+                    return []
+                row = self._row_bytes
+                return [(self.addr + start * row, (stop - start) * row)]
+        elif tkey is tuple and len(key) == 2 and self._ndim == 2:
+            k0, k1 = key
+            t0, t1 = type(k0), type(k1)
+            row = self._row_bytes
+            item = self._itemsize
+            if t0 is int and 0 <= k0:
+                if t1 is int and 0 <= k1:
+                    return [(self.addr + k0 * row + k1 * item, item)]
+                if t1 is slice and (k1.step is None or k1.step == 1):
+                    c0, c1, _ = k1.indices(self.shape[1])
+                    if c1 <= c0:
+                        return []
+                    return [(self.addr + k0 * row + c0 * item,
+                             (c1 - c0) * item)]
+            elif t0 is slice and (k0.step is None or k0.step == 1):
+                if t1 is slice and (k1.step is None or k1.step == 1):
+                    r0, r1, _ = k0.indices(self.shape[0])
+                    c0, c1, _ = k1.indices(self.shape[1])
+                    if r1 <= r0 or c1 <= c0:
+                        return []
+                    if c0 == 0 and c1 == self.shape[1]:
+                        return [(self.addr + r0 * row, (r1 - r0) * row)]
+                    chunk = (c1 - c0) * item
+                    base = self.addr + c0 * item
+                    return [(base + r * row, chunk) for r in range(r0, r1)]
+                if t1 is int and 0 <= k1:
+                    r0, r1, _ = k0.indices(self.shape[0])
+                    if r1 <= r0:
+                        return []
+                    base = self.addr + k1 * item
+                    return [(base + r * row, item) for r in range(r0, r1)]
+        key = self._normalize(key)
         # Advanced (integer-array) indexing on the first axis: numpy makes
         # a copy, so compute runs from the index values directly (one run
         # per maximal group of consecutive rows).
@@ -207,8 +278,13 @@ class SharedArray:
         return self.tmk.core.proc.drive(self._read_g(key, racy=False))
 
     def read_g(self, key: Any = slice(None)):
-        """Generator form of :meth:`read` (coro-backend convention)."""
-        return (yield from self._read_g(key, racy=False))
+        """Generator form of :meth:`read` (coro-backend convention).
+
+        Returns the generator directly (``yield from`` accepts any
+        iterable), avoiding one delegating generator per read -- reads
+        are the single most frequent shared-memory operation.
+        """
+        return self._read_g(key, racy=False)
 
     def read_racy(self, key: Any = slice(None)) -> np.ndarray:
         """Annotated intentionally-unsynchronized read.
@@ -223,13 +299,28 @@ class SharedArray:
 
     def read_racy_g(self, key: Any = slice(None)):
         """Generator form of :meth:`read_racy`."""
-        return (yield from self._read_g(key, racy=True))
+        return self._read_g(key, racy=True)
+
+    def _core_capabilities(self, core: Any) -> Tuple[Any, ...]:
+        """(core, runs_all_valid, runs_all_writable, piecewise) memoized
+        on the core's identity."""
+        caps = self._core_caps
+        if caps[0] is not core:
+            caps = self._core_caps = (
+                core,
+                getattr(core, "runs_all_valid", None),
+                getattr(core, "runs_all_writable", None),
+                getattr(core, "prefers_piecewise_writes", False))
+        return caps
 
     def _read_g(self, key: Any, racy: bool):
-        norm = self._normalize(key)
-        runs = self._touched_runs(norm)
+        runs = self._touched_runs(key)
         core = self.tmk.core
-        yield from core.ensure_valid_runs_g(runs)
+        # Fast path (LRC only): a synchronous all-valid check skips the
+        # per-run generator chain for the fault-free common case.
+        check = self._core_capabilities(core)[1]
+        if check is None or not check(runs):
+            yield from core.ensure_valid_runs_g(runs)
         sanitizer = getattr(core, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.on_access(core, runs, write=False, racy=racy)
@@ -286,17 +377,19 @@ class SharedArray:
 
     def write_g(self, key: Any, values: Any):
         """Generator form of :meth:`write`."""
-        norm = self._normalize(key)
-        runs = self._touched_runs(norm)
+        runs = self._touched_runs(key)
         core = self.tmk.core
+        _, _, check, piecewise = self._core_capabilities(core)
         sanitizer = getattr(core, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.on_access(core, runs, write=True)
-        if getattr(core, "prefers_piecewise_writes", False):
-            done = yield from self._piecewise_write_g(norm, runs, values)
+        if piecewise:
+            done = yield from self._piecewise_write_g(self._normalize(key),
+                                                      runs, values)
             if done:
                 return
-        yield from core.ensure_writable_runs_g(runs)
+        if check is None or not check(runs):
+            yield from core.ensure_writable_runs_g(runs)
         self._view[key] = values
 
     def _piecewise_write_g(self, norm: Any, runs: list, values: Any):
@@ -348,15 +441,16 @@ class SharedArray:
 
     def add_g(self, key: Any, values: Any):
         """Generator form of :meth:`add`."""
-        norm = self._normalize(key)
-        runs = self._touched_runs(norm)
+        runs = self._touched_runs(key)
         core = self.tmk.core
+        check = self._core_capabilities(core)[2]
         sanitizer = getattr(core, "sanitizer", None)
         if sanitizer is not None:
             # A read-modify-write conflicts with everything a write does
             # (prior reads and writes alike), so one write event suffices.
             sanitizer.on_access(core, runs, write=True)
-        yield from core.ensure_writable_runs_g(runs)
+        if check is None or not check(runs):
+            yield from core.ensure_writable_runs_g(runs)
         self._view[key] += values
 
     # ------------------------------------------------------------------

@@ -1,0 +1,205 @@
+"""Property tests for the kernel backends.
+
+The contract (repro.kernels.interface) demands that every backend is
+byte-identical to the ``pure`` reference.  Hypothesis drives random page
+contents through all six operations and compares backends pairwise; the
+explicit cases pin the edges the fuzzer might undersample (empty diff,
+full-page diff, runs touching both word boundaries).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (KERNEL_CHOICES, WORD, KernelBackend,
+                           available_backends, get_backend,
+                           register_backend)
+from repro.kernels import pure
+
+PURE = get_backend("pure")
+
+#: Every distinct backend object resolvable right now.  When the C
+#: extension is not built, "compiled" resolves to numpy and the suite
+#: degrades to comparing pure vs numpy (still a real check).
+BACKENDS = {get_backend(name).name: get_backend(name)
+            for name in KERNEL_CHOICES}
+
+PAGE_WORDS = 32
+PAGE_BYTES = PAGE_WORDS * WORD
+
+
+def _page(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8).copy()
+
+
+@st.composite
+def page_pairs(draw):
+    """(current, twin): a random twin plus a mutation of it."""
+    twin = draw(st.binary(min_size=PAGE_BYTES, max_size=PAGE_BYTES))
+    current = bytearray(twin)
+    nflips = draw(st.integers(min_value=0, max_value=PAGE_BYTES))
+    for _ in range(nflips):
+        pos = draw(st.integers(min_value=0, max_value=PAGE_BYTES - 1))
+        current[pos] = draw(st.integers(min_value=0, max_value=255))
+    return bytes(current), twin
+
+
+class TestMakeDiffProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(page_pairs())
+    def test_all_backends_match_pure(self, pair):
+        current, twin = pair
+        expected = PURE.make_diff(_page(current), _page(twin))
+        for backend in BACKENDS.values():
+            got = backend.make_diff(_page(current), _page(twin))
+            assert got == expected, backend.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(page_pairs(), min_size=0, max_size=5))
+    def test_batch_matches_scalar(self, pairs):
+        currents = [_page(c) for c, _ in pairs]
+        twins = [_page(t) for _, t in pairs]
+        expected = [PURE.make_diff(c, t) for c, t in zip(currents, twins)]
+        for backend in BACKENDS.values():
+            got = backend.make_diff_batch(currents, twins)
+            assert list(got) == expected, backend.name
+
+    @settings(max_examples=40, deadline=None)
+    @given(page_pairs())
+    def test_roundtrip_reconstructs_current(self, pair):
+        current, twin = pair
+        for backend in BACKENDS.values():
+            runs = backend.make_diff(_page(current), _page(twin))
+            patched = bytearray(twin)
+            written = backend.apply_diff(patched, runs)
+            assert bytes(patched) == current, backend.name
+            assert written == sum(len(data) for _, data in runs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(page_pairs())
+    def test_twin_compare_matches_equality(self, pair):
+        current, twin = pair
+        for backend in BACKENDS.values():
+            assert backend.twin_compare(_page(current), _page(twin)) \
+                == (current == twin), backend.name
+
+
+class TestMakeDiffEdges:
+    def test_empty_diff(self):
+        page = _page(bytes(range(256))[:PAGE_BYTES] * 1)
+        for backend in BACKENDS.values():
+            assert backend.make_diff(page, page.copy()) == (), backend.name
+
+    def test_full_page_diff(self):
+        current = _page(b"\xff" * PAGE_BYTES)
+        twin = _page(b"\x00" * PAGE_BYTES)
+        for backend in BACKENDS.values():
+            runs = backend.make_diff(current, twin)
+            assert runs == ((0, b"\xff" * PAGE_BYTES),), backend.name
+
+    def test_word_boundary_runs(self):
+        # Change the first byte of the first word and the last byte of
+        # the last word: runs must extend to word boundaries.
+        twin = bytearray(PAGE_BYTES)
+        current = bytearray(PAGE_BYTES)
+        current[0] = 1
+        current[PAGE_BYTES - 1] = 2
+        expected = ((0, bytes(current[:WORD])),
+                    (PAGE_BYTES - WORD, bytes(current[-WORD:])))
+        for backend in BACKENDS.values():
+            runs = backend.make_diff(_page(bytes(current)),
+                                     _page(bytes(twin)))
+            assert runs == expected, backend.name
+
+    def test_adjacent_words_merge(self):
+        twin = bytearray(PAGE_BYTES)
+        current = bytearray(PAGE_BYTES)
+        current[4] = 1   # word 1
+        current[9] = 2   # word 2 -> one merged run over words 1-2
+        for backend in BACKENDS.values():
+            runs = backend.make_diff(_page(bytes(current)),
+                                     _page(bytes(twin)))
+            assert runs == ((4, bytes(current[4:12])),), backend.name
+
+    def test_empty_batch(self):
+        for backend in BACKENDS.values():
+            assert backend.make_diff_batch([], []) == [], backend.name
+
+    def test_apply_batch_in_order(self):
+        page = bytearray(PAGE_BYTES)
+        runs_list = [((0, b"\x01" * WORD),), ((0, b"\x02" * WORD),)]
+        for backend in BACKENDS.values():
+            target = bytearray(page)
+            written = backend.apply_diff_batch(target, runs_list)
+            assert target[:WORD] == b"\x02" * WORD, backend.name
+            assert written == 2 * WORD
+
+
+class TestFaultScan:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=64), st.data())
+    def test_matches_pure(self, table, data):
+        valid = bytearray(b % 2 for b in table)
+        lo = data.draw(st.integers(min_value=0, max_value=len(valid)))
+        hi = data.draw(st.integers(min_value=lo, max_value=len(valid)))
+        expected = PURE.fault_scan(valid, lo, hi)
+        for backend in BACKENDS.values():
+            assert backend.fault_scan(valid, lo, hi) == expected, \
+                backend.name
+
+    def test_empty_window(self):
+        for backend in BACKENDS.values():
+            assert backend.fault_scan(bytearray(b"\x00\x01"), 1, 1) == []
+
+
+class TestRegistry:
+    def test_choices_resolve(self):
+        for name in KERNEL_CHOICES:
+            assert isinstance(get_backend(name), KernelBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            get_backend("fortran")
+
+    def test_compiled_always_resolves(self):
+        # Built -> the C backend; unbuilt -> the numpy fallback.  Either
+        # way the call succeeds and returns a usable backend.
+        backend = get_backend("compiled")
+        assert backend.name in ("compiled", "numpy")
+
+    def test_available_backends_superset_of_choices(self):
+        assert set(KERNEL_CHOICES) <= set(available_backends())
+
+    def test_register_rejects_builtin_names(self):
+        with pytest.raises(ValueError, match="built-in"):
+            register_backend(KernelBackend(
+                name="numpy", make_diff=pure.BACKEND.make_diff,
+                make_diff_batch=pure.BACKEND.make_diff_batch,
+                apply_diff=pure.BACKEND.apply_diff,
+                apply_diff_batch=pure.BACKEND.apply_diff_batch,
+                twin_compare=pure.BACKEND.twin_compare,
+                fault_scan=pure.BACKEND.fault_scan))
+
+    def test_register_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            register_backend(object())
+
+
+class TestCompiledExtension:
+    """Exercises the C extension specifically (skipped when unbuilt)."""
+
+    @pytest.fixture(autouse=True)
+    def _need_compiled(self):
+        if get_backend("compiled").name != "compiled":
+            pytest.skip("C extension not built (tools/build_kernels.py)")
+
+    def test_size_mismatch_rejected(self):
+        compiled = get_backend("compiled")
+        with pytest.raises(ValueError):
+            compiled.make_diff(_page(b"\x00" * 8), _page(b"\x00" * 12))
+
+    def test_run_out_of_bounds_rejected(self):
+        compiled = get_backend("compiled")
+        with pytest.raises(ValueError):
+            compiled.apply_diff(bytearray(8), ((4, b"\x00" * 8),))

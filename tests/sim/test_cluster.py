@@ -165,14 +165,13 @@ class TestTrace:
 
 
 class TestLegacyKwargs:
-    """The pre-ClusterConfig constructor spelling: deprecated but working."""
+    """The pre-ClusterConfig constructor spelling was removed in v1.2."""
 
-    def test_legacy_kwargs_warn_and_still_work(self):
-        trace = Trace(enabled=True)
-        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
-            cluster = Cluster(1, trace=trace)
-        cluster.run(lambda proc: proc.trace("kind", "detail"))
-        assert len(trace.events) == 1
+    def test_legacy_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            Cluster(1, trace=Trace(enabled=True))
+        with pytest.raises(TypeError):
+            Cluster(1, cost=None, faults=None)
 
     def test_config_form_does_not_warn(self):
         import warnings

@@ -13,17 +13,39 @@ Three measurements:
 * **environment**: CPU count and preset, so numbers from a 1-core CI
   runner are not mistaken for a parallel-speedup claim.
 
-Run:  python tools/bench_sweep.py [--out BENCH_sweep.json]
+The sweep measurement goes through ``sweep_configs``'s defaults -- the
+coro engine and the compiled kernels (built here first; silently falls
+back to numpy when the toolchain cannot build it) -- so the committed
+numbers track the fastest stack a fresh checkout can reach.
+
+Run:   python tools/bench_sweep.py [--out BENCH_sweep.json]
+Gate:  python tools/bench_sweep.py --out /tmp/fresh.json \\
+           --check-baseline BENCH_sweep.json   # fail on >20% regression
 """
 
 import argparse
 import json
 import os
+import subprocess
 import sys
 import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+#: Wall-clock regression tolerance for --check-baseline.
+TOLERANCE = 0.20
+SLACK_SECONDS = 0.25
+
+
+def build_compiled_kernels():
+    """Best-effort build of the C extension (the sweep's default)."""
+    script = os.path.join(os.path.dirname(__file__), "build_kernels.py")
+    proc = subprocess.run([sys.executable, script], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        print("note: compiled kernels unavailable, using numpy "
+              f"({proc.stdout.strip() or proc.stderr.strip()})")
 
 
 def bench_sweep(jobs):
@@ -104,14 +126,40 @@ def bench_diff_kernel(pages=64, page_size=4096, rounds=50):
     }
 
 
+def check_baseline(report, baseline_path):
+    """Gate the cold-serial sweep wall-clock and the batch speedup
+    against a committed report (20% + fixed slack)."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    ok = True
+    fresh = report["sweep"]["serial_wall_seconds"]
+    committed = baseline["sweep"]["serial_wall_seconds"]
+    limit = committed * (1.0 + TOLERANCE) + SLACK_SECONDS
+    status = "OK" if fresh <= limit else "REGRESSION"
+    print(f"cold serial sweep gate: fresh {fresh:.3f}s vs baseline "
+          f"{committed:.3f}s (limit {limit:.3f}s) -> {status}")
+    ok = ok and fresh <= limit
+    speedup = report["diff_kernel"]["batch_speedup"]
+    if speedup <= 1.0:
+        print(f"REGRESSION: batched diff speedup {speedup} <= 1.0")
+        ok = False
+    else:
+        print(f"batched diff speedup gate: {speedup}x -> OK")
+    return ok
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=os.path.join(
         os.path.dirname(__file__), "..", "BENCH_sweep.json"))
     parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--check-baseline", metavar="PATH",
+                        help="gate wall-clock and batch speedup against "
+                             "a committed report")
     args = parser.parse_args()
     jobs = args.jobs if args.jobs else max(1, os.cpu_count() or 1)
 
+    build_compiled_kernels()
     report = {
         "environment": {"cpu_count": os.cpu_count(),
                         "python": sys.version.split()[0]},
@@ -129,6 +177,9 @@ def main():
     if report["sweep"]["warm_hit_rate"] != 1.0:
         print("FATAL: warm re-sweep was not 100% cache hits",
               file=sys.stderr)
+        return 1
+    if args.check_baseline and not check_baseline(report,
+                                                  args.check_baseline):
         return 1
     return 0
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Build the optional compiled kernels extension in place.
+
+Compiles ``src/repro/kernels/_ckernels.c`` into
+``src/repro/kernels/_ckernels.<abi>.so`` using the stock setuptools
+build_ext machinery (no network, no extra dependencies).  Safe to run
+repeatedly; --force rebuilds even when the artifact is newer than the
+source.  If no C compiler is available the script reports the failure
+and exits 1 -- the registry falls back to the numpy backend, so an
+unbuilt extension is never an error at runtime.
+
+Usage:
+    python tools/build_kernels.py [--force] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PKG_DIR = os.path.join(REPO, "src", "repro", "kernels")
+SOURCE = os.path.join(PKG_DIR, "_ckernels.c")
+
+
+def existing_artifacts() -> list:
+    return sorted(glob.glob(os.path.join(PKG_DIR, "_ckernels.*.so"))
+                  + glob.glob(os.path.join(PKG_DIR, "_ckernels.so")))
+
+
+def build(force: bool = False, quiet: bool = False) -> int:
+    built = existing_artifacts()
+    if built and not force:
+        newest = max(os.path.getmtime(p) for p in built)
+        if newest >= os.path.getmtime(SOURCE):
+            if not quiet:
+                print(f"up to date: {built[0]}")
+            return 0
+
+    from setuptools import Distribution, Extension
+    from setuptools.command.build_ext import build_ext
+
+    ext = Extension(
+        "repro.kernels._ckernels",
+        sources=[SOURCE],
+        extra_compile_args=["-O2"],
+    )
+    dist = Distribution({"name": "repro-kernels", "ext_modules": [ext]})
+    with tempfile.TemporaryDirectory(prefix="ckernels-build-") as tmp:
+        cmd = build_ext(dist)
+        cmd.inplace = False
+        cmd.build_lib = tmp
+        cmd.build_temp = os.path.join(tmp, "temp")
+        cmd.ensure_finalized()
+        try:
+            cmd.run()
+        except Exception as exc:  # compiler missing, headers absent, ...
+            print(f"build failed ({exc}); the numpy backend remains the "
+                  f"fastest available", file=sys.stderr)
+            return 1
+        produced = glob.glob(os.path.join(tmp, "repro", "kernels",
+                                          "_ckernels*.so"))
+        if not produced:
+            print("build produced no artifact", file=sys.stderr)
+            return 1
+        dest = os.path.join(PKG_DIR, os.path.basename(produced[0]))
+        with open(produced[0], "rb") as src, open(dest, "wb") as dst:
+            dst.write(src.read())
+    if not quiet:
+        print(f"built {dest}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even if the artifact is up to date")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print nothing on success")
+    args = parser.parse_args()
+    return build(force=args.force, quiet=args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
